@@ -1,0 +1,220 @@
+/// A1 — Ablations of the design choices DESIGN.md calls out:
+///   (a) fail-first dynamic atom ordering in the homomorphism search vs
+///       static body order (the containment inner loop);
+///   (b) MiniCon with vs without the per-candidate containment check the
+///       MiniCon theorem removes;
+///   (c) Bucket with vs without subsumption pruning of the output union;
+///   (d) LMSS with vs without the beyond-cover extension pass.
+/// Each pair shares inputs, so the ratio isolates the choice.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "containment/homomorphism.h"
+#include "cq/parser.h"
+#include "rewriting/bucket.h"
+#include "rewriting/lmss.h"
+#include "rewriting/minicon.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace aqv {
+namespace {
+
+// --- (a) homomorphism ordering --------------------------------------------
+
+struct HomInstance {
+  Catalog catalog;
+  Query from;
+  Query to;
+};
+
+/// Self-join chains into a dense loop: many partial matches, where ordering
+/// decides how early contradictions surface.
+HomInstance MakeHomInstance(int chain_len) {
+  HomInstance inst;
+  ChainQuerySpec spec;
+  spec.length = chain_len;
+  spec.distinct_predicates = false;
+  inst.to = bench::Unwrap(MakeChainQuery(&inst.catalog, spec), "to");
+  ChainQuerySpec longer = spec;
+  longer.length = chain_len + 3;
+  longer.head_name = "q2";
+  inst.from = bench::Unwrap(MakeChainQuery(&inst.catalog, longer), "from");
+  return inst;
+}
+
+void BM_A1_HomDynamicOrdering(benchmark::State& state) {
+  HomInstance inst = MakeHomInstance(static_cast<int>(state.range(0)));
+  HomSearchOptions opts;
+  opts.dynamic_ordering = true;
+  for (auto _ : state) {
+    bool found = false;
+    if (!bench::UnwrapOrSkip(FindHomomorphism(inst.from, inst.to, opts),
+                             state, &found)) {
+      return;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+
+void BM_A1_HomStaticOrdering(benchmark::State& state) {
+  HomInstance inst = MakeHomInstance(static_cast<int>(state.range(0)));
+  HomSearchOptions opts;
+  opts.dynamic_ordering = false;
+  for (auto _ : state) {
+    bool found = false;
+    if (!bench::UnwrapOrSkip(FindHomomorphism(inst.from, inst.to, opts),
+                             state, &found)) {
+      return;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+
+// --- (b) MiniCon verification ---------------------------------------------
+
+struct WorkloadInstance {
+  Catalog catalog;
+  Query query;
+  ViewSet views;
+};
+
+WorkloadInstance MakeChainWorkload(int length, int num_views) {
+  WorkloadInstance inst;
+  ChainViewSpec vspec;
+  vspec.chain.length = length;
+  vspec.num_views = num_views;
+  vspec.min_length = 1;
+  vspec.max_length = 3;
+  vspec.policy = DistinguishedPolicy::kEnds;
+  Rng rng(4321);
+  inst.query =
+      bench::Unwrap(MakeChainQuery(&inst.catalog, vspec.chain), "query");
+  inst.views =
+      bench::Unwrap(MakeChainViews(&inst.catalog, &rng, vspec), "views");
+  return inst;
+}
+
+void BM_A1_MiniConNoVerify(benchmark::State& state) {
+  WorkloadInstance inst = MakeChainWorkload(4, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    MiniConResult r =
+        bench::Unwrap(MiniConRewrite(inst.query, inst.views), "minicon");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_A1_MiniConWithVerify(benchmark::State& state) {
+  WorkloadInstance inst = MakeChainWorkload(4, static_cast<int>(state.range(0)));
+  MiniConOptions opts;
+  opts.verify_candidates = true;
+  for (auto _ : state) {
+    MiniConResult r = bench::Unwrap(
+        MiniConRewrite(inst.query, inst.views, opts), "minicon+verify");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+// --- (c) bucket subsumption pruning ----------------------------------------
+
+void BM_A1_BucketNoPrune(benchmark::State& state) {
+  WorkloadInstance inst = MakeChainWorkload(4, static_cast<int>(state.range(0)));
+  size_t disjuncts = 0;
+  for (auto _ : state) {
+    BucketResult r;
+    if (!bench::UnwrapOrSkip(BucketRewrite(inst.query, inst.views), state,
+                             &r)) {
+      return;
+    }
+    disjuncts = r.rewritings.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+}
+
+void BM_A1_BucketWithPrune(benchmark::State& state) {
+  WorkloadInstance inst = MakeChainWorkload(4, static_cast<int>(state.range(0)));
+  BucketOptions opts;
+  opts.prune_subsumed = true;
+  size_t disjuncts = 0;
+  for (auto _ : state) {
+    BucketResult r;
+    if (!bench::UnwrapOrSkip(BucketRewrite(inst.query, inst.views, opts),
+                             state, &r)) {
+      return;
+    }
+    disjuncts = r.rewritings.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+}
+
+// --- (d) LMSS extension pass -----------------------------------------------
+
+void BM_A1_LmssWithExtension(benchmark::State& state) {
+  WorkloadInstance inst = MakeChainWorkload(4, static_cast<int>(state.range(0)));
+  LmssOptions opts;
+  opts.extend_beyond_cover = true;
+  for (auto _ : state) {
+    LmssResult r = bench::Unwrap(
+        FindEquivalentRewritings(inst.query, inst.views, opts), "lmss");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_A1_LmssCoversOnly(benchmark::State& state) {
+  WorkloadInstance inst = MakeChainWorkload(4, static_cast<int>(state.range(0)));
+  LmssOptions opts;
+  opts.extend_beyond_cover = false;
+  for (auto _ : state) {
+    LmssResult r = bench::Unwrap(
+        FindEquivalentRewritings(inst.query, inst.views, opts), "lmss");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+BENCHMARK(BM_A1_HomDynamicOrdering)
+    ->DenseRange(4, 8, 2)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_A1_HomStaticOrdering)
+    ->DenseRange(4, 8, 2)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_A1_MiniConNoVerify)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_A1_MiniConWithVerify)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_A1_BucketNoPrune)
+    ->Arg(10)
+    ->Arg(20)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_A1_BucketWithPrune)
+    ->Arg(10)
+    ->Arg(20)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_A1_LmssWithExtension)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_A1_LmssCoversOnly)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aqv
+
+int main(int argc, char** argv) {
+  aqv::bench::Banner("A1", "design-choice ablations (see file header)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

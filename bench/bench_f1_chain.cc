@@ -1,0 +1,142 @@
+/// F1 — Rewriting time vs number of views on CHAIN queries, the headline
+/// figure family of the MiniCon evaluation. Series: Bucket, MiniCon,
+/// InverseRules (rule construction), LMSS (equivalent-rewriting decision).
+///
+/// Expected shape: MiniCon and Bucket both grow with the view count, with
+/// Bucket's Cartesian-product-plus-containment-checks dominating as views
+/// increase; inverse-rule construction is near-linear and cheapest; the
+/// LMSS decision sits between, driven by candidate-pool size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "rewriting/bucket.h"
+#include "rewriting/inverse_rules.h"
+#include "rewriting/lmss.h"
+#include "rewriting/minicon.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace aqv {
+namespace {
+
+struct ChainInstance {
+  Catalog catalog;
+  Query query;
+  ViewSet views;
+};
+
+ChainInstance MakeInstance(int chain_length, int num_views, uint64_t seed) {
+  ChainInstance inst;
+  ChainViewSpec vspec;
+  vspec.chain.length = chain_length;
+  vspec.num_views = num_views;
+  vspec.min_length = 1;
+  vspec.max_length = 3;
+  vspec.policy = DistinguishedPolicy::kEnds;
+  Rng rng(seed);
+  inst.query = bench::Unwrap(MakeChainQuery(&inst.catalog, vspec.chain),
+                             "chain query");
+  inst.views =
+      bench::Unwrap(MakeChainViews(&inst.catalog, &rng, vspec), "chain views");
+  return inst;
+}
+
+void BM_F1_Bucket(benchmark::State& state) {
+  ChainInstance inst =
+      MakeInstance(static_cast<int>(state.range(0)),
+                   static_cast<int>(state.range(1)), 97);
+  uint64_t rewritings = 0, combos = 0;
+  for (auto _ : state) {
+    BucketResult r;
+    if (!bench::UnwrapOrSkip(BucketRewrite(inst.query, inst.views), state,
+                             &r)) {
+      return;
+    }
+    rewritings = r.rewritings.size();
+    combos = r.combinations_enumerated;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rewritings"] = static_cast<double>(rewritings);
+  state.counters["combinations"] = static_cast<double>(combos);
+}
+
+void BM_F1_MiniCon(benchmark::State& state) {
+  ChainInstance inst =
+      MakeInstance(static_cast<int>(state.range(0)),
+                   static_cast<int>(state.range(1)), 97);
+  uint64_t rewritings = 0, mcds = 0;
+  for (auto _ : state) {
+    MiniConResult r =
+        bench::Unwrap(MiniConRewrite(inst.query, inst.views), "minicon");
+    rewritings = r.rewritings.size();
+    mcds = r.mcds.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rewritings"] = static_cast<double>(rewritings);
+  state.counters["mcds"] = static_cast<double>(mcds);
+}
+
+void BM_F1_InverseRules(benchmark::State& state) {
+  ChainInstance inst =
+      MakeInstance(static_cast<int>(state.range(0)),
+                   static_cast<int>(state.range(1)), 97);
+  uint64_t rules = 0;
+  for (auto _ : state) {
+    InverseRuleSet r =
+        bench::Unwrap(BuildInverseRules(inst.views), "inverse rules");
+    rules = r.rules.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+}
+
+void BM_F1_LmssDecision(benchmark::State& state) {
+  ChainInstance inst =
+      MakeInstance(static_cast<int>(state.range(0)),
+                   static_cast<int>(state.range(1)), 97);
+  bool exists = false;
+  for (auto _ : state) {
+    exists = bench::Unwrap(ExistsEquivalentRewriting(inst.query, inst.views),
+                           "lmss");
+    benchmark::DoNotOptimize(exists);
+  }
+  state.counters["exists"] = exists ? 1 : 0;
+}
+
+void ChainArgs(benchmark::internal::Benchmark* b) {
+  for (int views : {5, 10, 20, 40, 80, 140}) {
+    b->Args({4, views});
+  }
+  b->Args({8, 40});  // longer chain point
+}
+
+// Bucket's Cartesian product makes >40 views impractical (that asymmetry IS
+// the figure); the other series run the full grid.
+void BucketChainArgs(benchmark::internal::Benchmark* b) {
+  for (int views : {5, 10, 20, 40}) {
+    b->Args({4, views});
+  }
+}
+
+BENCHMARK(BM_F1_Bucket)
+    ->Apply(BucketChainArgs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F1_MiniCon)->Apply(ChainArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F1_InverseRules)
+    ->Apply(ChainArgs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F1_LmssDecision)
+    ->Apply(ChainArgs)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aqv
+
+int main(int argc, char** argv) {
+  aqv::bench::Banner("F1", "rewriting time vs #views, chain queries "
+                           "(args: chain_length, num_views)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,120 @@
+/// F2 — Rewriting time vs number of views on STAR queries. In the star
+/// regime the center variable joins every subgoal; with fully-exposed views
+/// MCDs stay single-subgoal and MiniCon's advantage over Bucket's
+/// cross-product narrows relative to chains.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "rewriting/bucket.h"
+#include "rewriting/inverse_rules.h"
+#include "rewriting/lmss.h"
+#include "rewriting/minicon.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace aqv {
+namespace {
+
+struct StarInstance {
+  Catalog catalog;
+  Query query;
+  ViewSet views;
+};
+
+StarInstance MakeInstance(int rays, int num_views, uint64_t seed) {
+  StarInstance inst;
+  StarViewSpec vspec;
+  vspec.star.rays = rays;
+  vspec.num_views = num_views;
+  vspec.min_rays = 1;
+  vspec.max_rays = 2;
+  vspec.policy = DistinguishedPolicy::kAll;
+  Rng rng(seed);
+  inst.query =
+      bench::Unwrap(MakeStarQuery(&inst.catalog, vspec.star), "star query");
+  inst.views =
+      bench::Unwrap(MakeStarViews(&inst.catalog, &rng, vspec), "star views");
+  return inst;
+}
+
+void BM_F2_Bucket(benchmark::State& state) {
+  StarInstance inst = MakeInstance(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)), 31);
+  uint64_t rewritings = 0;
+  for (auto _ : state) {
+    BucketResult r;
+    if (!bench::UnwrapOrSkip(BucketRewrite(inst.query, inst.views), state,
+                             &r)) {
+      return;
+    }
+    rewritings = r.rewritings.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rewritings"] = static_cast<double>(rewritings);
+}
+
+void BM_F2_MiniCon(benchmark::State& state) {
+  StarInstance inst = MakeInstance(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)), 31);
+  uint64_t rewritings = 0, mcds = 0;
+  for (auto _ : state) {
+    MiniConResult r =
+        bench::Unwrap(MiniConRewrite(inst.query, inst.views), "minicon");
+    rewritings = r.rewritings.size();
+    mcds = r.mcds.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rewritings"] = static_cast<double>(rewritings);
+  state.counters["mcds"] = static_cast<double>(mcds);
+}
+
+void BM_F2_InverseRules(benchmark::State& state) {
+  StarInstance inst = MakeInstance(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)), 31);
+  for (auto _ : state) {
+    InverseRuleSet r =
+        bench::Unwrap(BuildInverseRules(inst.views), "inverse rules");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_F2_LmssDecision(benchmark::State& state) {
+  StarInstance inst = MakeInstance(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)), 31);
+  for (auto _ : state) {
+    bool exists = bench::Unwrap(
+        ExistsEquivalentRewriting(inst.query, inst.views), "lmss");
+    benchmark::DoNotOptimize(exists);
+  }
+}
+
+void StarArgs(benchmark::internal::Benchmark* b) {
+  for (int views : {5, 10, 20, 40, 80}) {
+    b->Args({4, views});
+  }
+  b->Args({6, 20});
+}
+
+// Bucket's per-subgoal product limits its practical grid (the F1 story).
+void BucketStarArgs(benchmark::internal::Benchmark* b) {
+  for (int views : {5, 10, 20, 40}) {
+    b->Args({4, views});
+  }
+}
+
+BENCHMARK(BM_F2_Bucket)->Apply(BucketStarArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F2_MiniCon)->Apply(StarArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F2_InverseRules)->Apply(StarArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F2_LmssDecision)->Apply(StarArgs)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aqv
+
+int main(int argc, char** argv) {
+  aqv::bench::Banner("F2", "rewriting time vs #views, star queries "
+                           "(args: rays, num_views)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,135 @@
+/// F3 — Rewriting time vs number of views on COMPLETE (clique) queries:
+/// every pair of query variables is joined, so view specializations
+/// overlap heavily. This is the densest combination space of the grid and
+/// the regime where Bucket's per-subgoal buckets stay small but its
+/// cross-product still multiplies out.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "rewriting/bucket.h"
+#include "rewriting/inverse_rules.h"
+#include "rewriting/lmss.h"
+#include "rewriting/minicon.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace aqv {
+namespace {
+
+struct CompleteInstance {
+  Catalog catalog;
+  Query query;
+  ViewSet views;
+};
+
+CompleteInstance MakeInstance(int nodes, int num_views, uint64_t seed) {
+  CompleteInstance inst;
+  CompleteViewSpec vspec;
+  vspec.complete.nodes = nodes;
+  vspec.num_views = num_views;
+  vspec.min_edges = 1;
+  vspec.max_edges = 3;
+  vspec.policy = DistinguishedPolicy::kAll;
+  Rng rng(seed);
+  inst.query = bench::Unwrap(MakeCompleteQuery(&inst.catalog, vspec.complete),
+                             "complete query");
+  inst.views = bench::Unwrap(MakeCompleteViews(&inst.catalog, &rng, vspec),
+                             "complete views");
+  return inst;
+}
+
+void BM_F3_Bucket(benchmark::State& state) {
+  CompleteInstance inst = MakeInstance(static_cast<int>(state.range(0)),
+                                       static_cast<int>(state.range(1)), 59);
+  uint64_t rewritings = 0;
+  for (auto _ : state) {
+    BucketResult r;
+    if (!bench::UnwrapOrSkip(BucketRewrite(inst.query, inst.views), state,
+                             &r)) {
+      return;
+    }
+    rewritings = r.rewritings.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rewritings"] = static_cast<double>(rewritings);
+}
+
+void BM_F3_MiniCon(benchmark::State& state) {
+  CompleteInstance inst = MakeInstance(static_cast<int>(state.range(0)),
+                                       static_cast<int>(state.range(1)), 59);
+  uint64_t rewritings = 0, mcds = 0;
+  for (auto _ : state) {
+    MiniConOptions opts;
+    opts.max_combinations = 20'000'000;
+    MiniConResult r =
+        bench::Unwrap(MiniConRewrite(inst.query, inst.views, opts), "minicon");
+    rewritings = r.rewritings.size();
+    mcds = r.mcds.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rewritings"] = static_cast<double>(rewritings);
+  state.counters["mcds"] = static_cast<double>(mcds);
+}
+
+void BM_F3_InverseRules(benchmark::State& state) {
+  CompleteInstance inst = MakeInstance(static_cast<int>(state.range(0)),
+                                       static_cast<int>(state.range(1)), 59);
+  for (auto _ : state) {
+    InverseRuleSet r =
+        bench::Unwrap(BuildInverseRules(inst.views), "inverse rules");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_F3_LmssDecision(benchmark::State& state) {
+  CompleteInstance inst = MakeInstance(static_cast<int>(state.range(0)),
+                                       static_cast<int>(state.range(1)), 59);
+  for (auto _ : state) {
+    bool exists = bench::Unwrap(
+        ExistsEquivalentRewriting(inst.query, inst.views), "lmss");
+    benchmark::DoNotOptimize(exists);
+  }
+}
+
+void CompleteArgs(benchmark::internal::Benchmark* b) {
+  for (int views : {5, 10, 20, 40}) {
+    b->Args({3, views});
+  }
+  for (int views : {5, 10, 20}) {
+    b->Args({4, views});
+  }
+}
+
+// The 4-node clique has six subgoals; Bucket's product is only tractable on
+// the smaller grids.
+void BucketCompleteArgs(benchmark::internal::Benchmark* b) {
+  for (int views : {5, 10, 20, 40}) {
+    b->Args({3, views});
+  }
+  for (int views : {5, 10}) {
+    b->Args({4, views});
+  }
+}
+
+BENCHMARK(BM_F3_Bucket)
+    ->Apply(BucketCompleteArgs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F3_MiniCon)->Apply(CompleteArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F3_InverseRules)
+    ->Apply(CompleteArgs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F3_LmssDecision)
+    ->Apply(CompleteArgs)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aqv
+
+int main(int argc, char** argv) {
+  aqv::bench::Banner("F3", "rewriting time vs #views, complete queries "
+                           "(args: nodes, num_views)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,119 @@
+/// F4 — Candidate-space sizes vs number of views on the chain workload:
+/// bucket entries per subgoal, MCD count, canonical view tuples, and the
+/// combination counts each algorithm enumerates. This figure explains the
+/// F1–F3 time curves: Bucket's cost tracks the product of bucket sizes,
+/// MiniCon's tracks the (much smaller) number of disjoint MCD covers.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "rewriting/bucket.h"
+#include "rewriting/candidates.h"
+#include "rewriting/minicon.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace aqv {
+namespace {
+
+struct Instance {
+  Catalog catalog;
+  Query query;
+  ViewSet views;
+};
+
+Instance MakeInstance(int chain_length, int num_views, uint64_t seed) {
+  Instance inst;
+  ChainViewSpec vspec;
+  vspec.chain.length = chain_length;
+  vspec.num_views = num_views;
+  vspec.min_length = 1;
+  vspec.max_length = 3;
+  vspec.policy = DistinguishedPolicy::kEnds;
+  Rng rng(seed);
+  inst.query = bench::Unwrap(MakeChainQuery(&inst.catalog, vspec.chain),
+                             "chain query");
+  inst.views =
+      bench::Unwrap(MakeChainViews(&inst.catalog, &rng, vspec), "chain views");
+  return inst;
+}
+
+void BM_F4_BucketEntries(benchmark::State& state) {
+  Instance inst = MakeInstance(4, static_cast<int>(state.range(0)), 73);
+  double entries = 0, product = 1, combos = 0;
+  for (auto _ : state) {
+    BucketResult r;
+    if (!bench::UnwrapOrSkip(BucketRewrite(inst.query, inst.views), state,
+                             &r)) {
+      return;
+    }
+    entries = 0;
+    product = 1;
+    for (const auto& bucket : r.buckets) {
+      entries += static_cast<double>(bucket.size());
+      product *= static_cast<double>(bucket.size());
+    }
+    combos = static_cast<double>(r.combinations_enumerated);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["entries_total"] = entries;
+  state.counters["bucket_product"] = product;
+  state.counters["combinations"] = combos;
+}
+
+void BM_F4_Mcds(benchmark::State& state) {
+  Instance inst = MakeInstance(4, static_cast<int>(state.range(0)), 73);
+  double mcds = 0, combos = 0, rewritings = 0;
+  for (auto _ : state) {
+    MiniConResult r =
+        bench::Unwrap(MiniConRewrite(inst.query, inst.views), "minicon");
+    mcds = static_cast<double>(r.mcds.size());
+    combos = static_cast<double>(r.combinations_enumerated);
+    rewritings = static_cast<double>(r.rewritings.size());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["mcds"] = mcds;
+  state.counters["combinations"] = combos;
+  state.counters["rewritings"] = rewritings;
+}
+
+void BM_F4_CanonicalTuples(benchmark::State& state) {
+  Instance inst = MakeInstance(4, static_cast<int>(state.range(0)), 73);
+  double tuples = 0;
+  for (auto _ : state) {
+    std::vector<ViewAtomCandidate> pool = bench::Unwrap(
+        CanonicalViewTuples(inst.query, inst.views), "tuples");
+    tuples = static_cast<double>(pool.size());
+    benchmark::DoNotOptimize(pool);
+  }
+  state.counters["tuples"] = tuples;
+}
+
+void F4Args(benchmark::internal::Benchmark* b) {
+  for (int views : {5, 10, 20, 40, 80, 140}) b->Args({views});
+}
+
+// The bucket product at 80+ views runs minutes per iteration; the curve is
+// unambiguous by 40 (see also F1's asymmetric grids).
+void F4BucketArgs(benchmark::internal::Benchmark* b) {
+  for (int views : {5, 10, 20, 40}) b->Args({views});
+}
+
+BENCHMARK(BM_F4_BucketEntries)
+    ->Apply(F4BucketArgs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F4_Mcds)->Apply(F4Args)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F4_CanonicalTuples)
+    ->Apply(F4Args)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aqv
+
+int main(int argc, char** argv) {
+  aqv::bench::Banner("F4", "candidate-space sizes vs #views, chain length 4 "
+                           "(arg: num_views)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

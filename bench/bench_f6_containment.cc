@@ -1,0 +1,127 @@
+/// F6 — Containment and minimization micro-costs versus query size: the
+/// inner loop of every rewriting engine. Random CQs with controlled
+/// subgoal counts; chains as the structured counterpoint.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "containment/containment.h"
+#include "containment/minimize.h"
+#include "cq/substitution.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace aqv {
+namespace {
+
+void BM_F6_RandomContainment(benchmark::State& state) {
+  Catalog cat;
+  Rng rng(1234 + state.range(0));
+  RandomQuerySpec spec;
+  spec.num_subgoals = static_cast<int>(state.range(0));
+  spec.num_vars = std::max<int>(3, state.range(0) / 2 + 1);
+  spec.num_predicates = 3;
+  spec.head_arity = 2;
+  std::vector<std::pair<Query, Query>> pairs;
+  for (int i = 0; i < 16; ++i) {
+    RandomQuerySpec a = spec, b = spec;
+    a.head_name = "qa" + std::to_string(i);
+    b.head_name = "qb" + std::to_string(i);
+    pairs.push_back({bench::Unwrap(MakeRandomQuery(&cat, &rng, a), "qa"),
+                     bench::Unwrap(MakeRandomQuery(&cat, &rng, b), "qb")});
+  }
+  int contained = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [qa, qb] = pairs[i++ % pairs.size()];
+    bool c = bench::Unwrap(IsContainedIn(qa, qb), "containment");
+    contained += c;
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["contained_frac"] =
+      benchmark::Counter(static_cast<double>(contained),
+                         benchmark::Counter::kAvgIterations);
+}
+
+void BM_F6_SelfEquivalence(benchmark::State& state) {
+  // Equivalence of a query against its own variable-renamed copy: the
+  // always-true fast path that minimization and dedup hit constantly.
+  Catalog cat;
+  Rng rng(77);
+  ChainQuerySpec spec;
+  spec.length = static_cast<int>(state.range(0));
+  Query q = bench::Unwrap(MakeChainQuery(&cat, spec), "chain");
+  Query r = RenameVariables(q, "w");
+  for (auto _ : state) {
+    bool eq = bench::Unwrap(AreEquivalent(q, r), "equivalence");
+    benchmark::DoNotOptimize(eq);
+  }
+}
+
+void BM_F6_SelfJoinChainContainment(benchmark::State& state) {
+  // Single-predicate chains: the classic exponential-ish instance family
+  // for containment mapping search.
+  Catalog cat;
+  ChainQuerySpec spec;
+  spec.length = static_cast<int>(state.range(0));
+  spec.distinct_predicates = false;
+  Query q = bench::Unwrap(MakeChainQuery(&cat, spec), "chain");
+  ChainQuerySpec longer = spec;
+  longer.length = spec.length + 2;
+  longer.head_name = "q2";
+  Query q2 = bench::Unwrap(MakeChainQuery(&cat, longer), "chain2");
+  for (auto _ : state) {
+    bool c = bench::Unwrap(IsContainedIn(q2, q), "containment");
+    benchmark::DoNotOptimize(c);
+  }
+}
+
+void BM_F6_Minimization(benchmark::State& state) {
+  // Minimize a chain padded with redundant atom copies.
+  Catalog cat;
+  ChainQuerySpec spec;
+  spec.length = static_cast<int>(state.range(0));
+  Query q = bench::Unwrap(MakeChainQuery(&cat, spec), "chain");
+  Query padded = q;
+  int extra = static_cast<int>(q.body().size());
+  for (int i = 0; i < extra; ++i) {
+    Atom a = q.body()[i % q.body().size()];
+    // Redirect the second argument to a fresh variable: subsumed atom.
+    Query* p = &padded;
+    VarId fresh = p->AddVariable("R" + std::to_string(i));
+    a.args[1] = Term::Var(fresh);
+    p->AddBodyAtom(a);
+  }
+  size_t core_size = 0;
+  for (auto _ : state) {
+    Query m = bench::Unwrap(Minimize(padded), "minimize");
+    core_size = m.body().size();
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["padded_atoms"] = static_cast<double>(padded.body().size());
+  state.counters["core_atoms"] = static_cast<double>(core_size);
+}
+
+BENCHMARK(BM_F6_RandomContainment)
+    ->DenseRange(2, 12, 2)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F6_SelfEquivalence)
+    ->DenseRange(2, 14, 3)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F6_SelfJoinChainContainment)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_F6_Minimization)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aqv
+
+int main(int argc, char** argv) {
+  aqv::bench::Banner("F6", "containment/minimization micro-costs "
+                           "(arg: subgoals)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

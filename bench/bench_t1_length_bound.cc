@@ -1,0 +1,138 @@
+/// T1 — Empirical validation of the LMSS bounded-rewriting theorem (R1):
+/// if an equivalent rewriting exists, one exists with at most n view atoms
+/// (n = |body(Q)| after minimization). The harness enumerates ALL
+/// rewritings with the size cap raised to n+2 across workload instances and
+/// asserts that every instance with a rewriting also has one of length <= n.
+///
+/// Output: per-configuration timing plus counters `instances`,
+/// `with_rewriting`, and `bound_violations` (must be 0).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "rewriting/lmss.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace aqv {
+namespace {
+
+struct SweepOutcome {
+  int instances = 0;
+  int with_rewriting = 0;
+  int bound_violations = 0;
+};
+
+SweepOutcome SweepChains(int chain_length, int num_views, uint64_t seed,
+                         int trials) {
+  SweepOutcome out;
+  for (int t = 0; t < trials; ++t) {
+    Catalog cat;
+    ChainViewSpec vspec;
+    vspec.chain.length = chain_length;
+    vspec.num_views = num_views;
+    vspec.min_length = 1;
+    vspec.max_length = 3;
+    vspec.policy = DistinguishedPolicy::kEnds;
+    Rng rng(seed + t);
+    Query q = bench::Unwrap(MakeChainQuery(&cat, vspec.chain), "chain");
+    ViewSet vs =
+        bench::Unwrap(MakeChainViews(&cat, &rng, vspec), "chain views");
+
+    LmssOptions opts;
+    opts.max_rewritings = 1'000;
+    opts.max_rewriting_atoms =
+        static_cast<int>(q.body().size()) + 2;  // search BEYOND the bound
+    LmssResult res =
+        bench::Unwrap(FindEquivalentRewritings(q, vs, opts), "lmss");
+    ++out.instances;
+    if (!res.exists) continue;
+    ++out.with_rewriting;
+    size_t shortest = SIZE_MAX;
+    for (const Query& rw : res.rewritings) {
+      shortest = std::min(shortest, rw.body().size());
+    }
+    if (shortest > res.minimized_query.body().size()) {
+      ++out.bound_violations;  // would falsify the theorem
+    }
+  }
+  return out;
+}
+
+void BM_T1_ChainSweep(benchmark::State& state) {
+  SweepOutcome out;
+  for (auto _ : state) {
+    out = SweepChains(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)), 4242, 10);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["instances"] = out.instances;
+  state.counters["with_rewriting"] = out.with_rewriting;
+  state.counters["bound_violations"] = out.bound_violations;
+}
+
+SweepOutcome SweepStars(int rays, int num_views, uint64_t seed, int trials) {
+  SweepOutcome out;
+  for (int t = 0; t < trials; ++t) {
+    Catalog cat;
+    StarViewSpec vspec;
+    vspec.star.rays = rays;
+    vspec.num_views = num_views;
+    vspec.min_rays = 1;
+    vspec.max_rays = 3;
+    vspec.policy = DistinguishedPolicy::kAll;
+    Rng rng(seed + t);
+    Query q = bench::Unwrap(MakeStarQuery(&cat, vspec.star), "star");
+    ViewSet vs = bench::Unwrap(MakeStarViews(&cat, &rng, vspec), "views");
+    LmssOptions opts;
+    opts.max_rewritings = 1'000;
+    opts.max_rewriting_atoms = static_cast<int>(q.body().size()) + 2;
+    LmssResult res =
+        bench::Unwrap(FindEquivalentRewritings(q, vs, opts), "lmss");
+    ++out.instances;
+    if (!res.exists) continue;
+    ++out.with_rewriting;
+    size_t shortest = SIZE_MAX;
+    for (const Query& rw : res.rewritings) {
+      shortest = std::min(shortest, rw.body().size());
+    }
+    if (shortest > res.minimized_query.body().size()) ++out.bound_violations;
+  }
+  return out;
+}
+
+void BM_T1_StarSweep(benchmark::State& state) {
+  SweepOutcome out;
+  for (auto _ : state) {
+    out = SweepStars(static_cast<int>(state.range(0)),
+                     static_cast<int>(state.range(1)), 777, 10);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["instances"] = out.instances;
+  state.counters["with_rewriting"] = out.with_rewriting;
+  state.counters["bound_violations"] = out.bound_violations;
+}
+
+BENCHMARK(BM_T1_ChainSweep)
+    ->Args({3, 8})
+    ->Args({4, 8})
+    ->Args({5, 10})
+    ->Args({6, 12})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_T1_StarSweep)
+    ->Args({3, 8})
+    ->Args({4, 10})
+    ->Args({5, 12})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aqv
+
+int main(int argc, char** argv) {
+  aqv::bench::Banner(
+      "T1", "LMSS length-bound validation; bound_violations must be 0 "
+            "(args: size, num_views)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

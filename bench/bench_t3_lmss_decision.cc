@@ -1,0 +1,138 @@
+/// T3 — Cost of the LMSS equivalent-rewriting decision as the query grows:
+/// chain queries with prefix/suffix/pair views guaranteeing a rewriting
+/// exists (positive instances) and with a withheld middle predicate
+/// (negative instances, which must exhaust the cover search).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "cq/parser.h"
+#include "rewriting/lmss.h"
+#include "workload/generators.h"
+
+namespace aqv {
+namespace {
+
+struct T3Instance {
+  Catalog catalog;
+  Query query;
+  ViewSet views;
+};
+
+/// Views: every contiguous 2-subchain plus single edges, all with endpoint
+/// heads — a rewriting always exists.
+T3Instance PositiveInstance(int chain_length) {
+  T3Instance inst;
+  ChainQuerySpec spec;
+  spec.length = chain_length;
+  inst.query = bench::Unwrap(MakeChainQuery(&inst.catalog, spec), "chain");
+  std::string views_text;
+  for (int start = 0; start < chain_length; ++start) {
+    for (int len = 1; len <= 2 && start + len <= chain_length; ++len) {
+      std::string name =
+          "v" + std::to_string(start) + "_" + std::to_string(len);
+      std::string body;
+      for (int i = 0; i < len; ++i) {
+        if (i > 0) body += ", ";
+        body += "r" + std::to_string(start + i + 1) + "(Y" +
+                std::to_string(start + i) + ", Y" +
+                std::to_string(start + i + 1) + ")";
+      }
+      views_text += name + "(Y" + std::to_string(start) + ", Y" +
+                    std::to_string(start + len) + ") :- " + body + ".\n";
+    }
+  }
+  inst.views = bench::Unwrap(ViewSet::Parse(views_text, &inst.catalog),
+                             "views");
+  return inst;
+}
+
+/// Same views minus anything covering the middle predicate: no rewriting.
+T3Instance NegativeInstance(int chain_length) {
+  T3Instance inst;
+  ChainQuerySpec spec;
+  spec.length = chain_length;
+  inst.query = bench::Unwrap(MakeChainQuery(&inst.catalog, spec), "chain");
+  int withheld = chain_length / 2;  // 0-based subgoal index withheld
+  std::string views_text;
+  for (int start = 0; start < chain_length; ++start) {
+    for (int len = 1; len <= 2 && start + len <= chain_length; ++len) {
+      bool covers_withheld = false;
+      for (int i = 0; i < len; ++i) {
+        if (start + i == withheld) covers_withheld = true;
+      }
+      if (covers_withheld) continue;
+      std::string name =
+          "w" + std::to_string(start) + "_" + std::to_string(len);
+      std::string body;
+      for (int i = 0; i < len; ++i) {
+        if (i > 0) body += ", ";
+        body += "r" + std::to_string(start + i + 1) + "(Y" +
+                std::to_string(start + i) + ", Y" +
+                std::to_string(start + i + 1) + ")";
+      }
+      views_text += name + "(Y" + std::to_string(start) + ", Y" +
+                    std::to_string(start + len) + ") :- " + body + ".\n";
+    }
+  }
+  inst.views = bench::Unwrap(ViewSet::Parse(views_text, &inst.catalog),
+                             "views");
+  return inst;
+}
+
+void BM_T3_PositiveDecision(benchmark::State& state) {
+  T3Instance inst = PositiveInstance(static_cast<int>(state.range(0)));
+  bool exists = false;
+  for (auto _ : state) {
+    exists = bench::Unwrap(ExistsEquivalentRewriting(inst.query, inst.views),
+                           "decide");
+    benchmark::DoNotOptimize(exists);
+  }
+  state.counters["exists"] = exists ? 1 : 0;  // must be 1
+}
+
+void BM_T3_NegativeDecision(benchmark::State& state) {
+  T3Instance inst = NegativeInstance(static_cast<int>(state.range(0)));
+  bool exists = true;
+  for (auto _ : state) {
+    exists = bench::Unwrap(ExistsEquivalentRewriting(inst.query, inst.views),
+                           "decide");
+    benchmark::DoNotOptimize(exists);
+  }
+  state.counters["exists"] = exists ? 1 : 0;  // must be 0
+}
+
+void BM_T3_EnumerateAll(benchmark::State& state) {
+  T3Instance inst = PositiveInstance(static_cast<int>(state.range(0)));
+  size_t count = 0;
+  for (auto _ : state) {
+    LmssOptions opts;
+    opts.max_rewritings = 10'000;
+    LmssResult res = bench::Unwrap(
+        FindEquivalentRewritings(inst.query, inst.views, opts), "enumerate");
+    count = res.rewritings.size();
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["rewritings"] = static_cast<double>(count);
+}
+
+BENCHMARK(BM_T3_PositiveDecision)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_T3_NegativeDecision)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_T3_EnumerateAll)
+    ->DenseRange(2, 8, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aqv
+
+int main(int argc, char** argv) {
+  aqv::bench::Banner("T3", "LMSS decision cost vs chain length "
+                           "(arg: chain_length)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

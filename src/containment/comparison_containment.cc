@@ -1,0 +1,647 @@
+#include "containment/comparison_containment.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "containment/containment.h"
+#include "containment/homomorphism.h"
+
+namespace aqv {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Union-find over term nodes (variables first, then constants).
+// ---------------------------------------------------------------------------
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Unite(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+// Numeric value of a constant, if any.
+std::optional<int64_t> NumericOf(const Catalog& cat, ConstId c) {
+  return cat.constant(c).numeric;
+}
+
+// Collects distinct numeric constant values used anywhere in `q`, recording
+// one representative ConstId per value.
+void CollectNumericConsts(const Query& q, std::map<int64_t, ConstId>* out) {
+  auto visit = [&](Term t) {
+    if (t.is_const()) {
+      auto v = NumericOf(*q.catalog(), t.constant());
+      if (v.has_value()) out->emplace(*v, t.constant());
+    }
+  };
+  for (Term t : q.head().args) visit(t);
+  for (const Atom& a : q.body()) {
+    for (Term t : a.args) visit(t);
+  }
+  for (const Comparison& c : q.comparisons()) {
+    visit(c.lhs);
+    visit(c.rhs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satisfiability of the comparison conjunction (dense order).
+// ---------------------------------------------------------------------------
+
+// Tarjan-free SCC via Kosaraju (graphs here are tiny).
+std::vector<int> SccIds(int n, const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::vector<int>> adj(n), radj(n);
+  for (auto [u, v] : edges) {
+    adj[u].push_back(v);
+    radj[v].push_back(u);
+  }
+  std::vector<int> order;
+  std::vector<bool> seen(n, false);
+  // Iterative DFS for finish order.
+  for (int s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    std::vector<std::pair<int, size_t>> stack{{s, 0}};
+    seen[s] = true;
+    while (!stack.empty()) {
+      auto& [u, i] = stack.back();
+      if (i < adj[u].size()) {
+        int w = adj[u][i++];
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back({w, 0});
+        }
+      } else {
+        order.push_back(u);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<int> comp(n, -1);
+  int num_comp = 0;
+  for (int idx = n - 1; idx >= 0; --idx) {
+    int s = order[idx];
+    if (comp[s] != -1) continue;
+    std::vector<int> stack{s};
+    comp[s] = num_comp;
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      for (int w : radj[u]) {
+        if (comp[w] == -1) {
+          comp[w] = num_comp;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++num_comp;
+  }
+  return comp;
+}
+
+}  // namespace
+
+bool ComparisonsSatisfiable(const Query& q) {
+  if (!q.has_comparisons()) return true;
+  const Catalog& cat = *q.catalog();
+
+  // Pre-pass for symbolic (non-numeric) constants: only = and != make sense.
+  for (const Comparison& c : q.comparisons()) {
+    auto symbolic = [&](Term t) {
+      return t.is_const() && !NumericOf(cat, t.constant()).has_value();
+    };
+    bool any_sym = symbolic(c.lhs) || symbolic(c.rhs);
+    if (!any_sym) continue;
+    switch (c.op) {
+      case CmpOp::kLt:
+        return false;  // order undefined on symbolic constants
+      case CmpOp::kLe:
+        if (!(c.lhs == c.rhs)) return false;
+        break;
+      case CmpOp::kEq:
+        // var = symbolic is satisfiable; symbolic = other-symbolic is not
+        // (unique name assumption), handled by the union-find below only for
+        // numeric nodes, so check directly here.
+        if (c.lhs.is_const() && c.rhs.is_const() && !(c.lhs == c.rhs)) {
+          return false;
+        }
+        break;
+      case CmpOp::kNe:
+        if (c.lhs == c.rhs) return false;
+        break;
+    }
+  }
+
+  // Node space: variables, then one node per distinct numeric value.
+  std::set<int64_t> values;
+  for (const Comparison& c : q.comparisons()) {
+    for (Term t : {c.lhs, c.rhs}) {
+      if (t.is_const()) {
+        auto v = NumericOf(cat, t.constant());
+        if (v.has_value()) values.insert(*v);
+      }
+    }
+  }
+  std::vector<int64_t> vals(values.begin(), values.end());
+  int nv = q.num_vars();
+  int n = nv + static_cast<int>(vals.size());
+  auto node_of = [&](Term t) -> int {
+    if (t.is_var()) return t.var();
+    auto v = NumericOf(cat, t.constant());
+    if (!v.has_value()) return -1;  // symbolic, handled in pre-pass
+    int idx = static_cast<int>(
+        std::lower_bound(vals.begin(), vals.end(), *v) - vals.begin());
+    return nv + idx;
+  };
+
+  UnionFind uf(n);
+  for (const Comparison& c : q.comparisons()) {
+    if (c.op != CmpOp::kEq) continue;
+    int a = node_of(c.lhs), b = node_of(c.rhs);
+    if (a < 0 || b < 0) continue;
+    uf.Unite(a, b);
+  }
+  // Two distinct numeric constants forced equal?
+  std::map<int, int64_t> const_class;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    int rep = uf.Find(nv + static_cast<int>(i));
+    auto it = const_class.find(rep);
+    if (it != const_class.end() && it->second != vals[i]) return false;
+    const_class[rep] = vals[i];
+  }
+
+  // Order graph on class representatives: u -> v for u <= v / u < v, with
+  // strictness recorded; constant spine adds c_i < c_{i+1}.
+  std::vector<std::pair<int, int>> edges;
+  std::vector<std::tuple<int, int, bool>> typed;  // (u, v, strict)
+  auto add_edge = [&](int u, int v, bool strict) {
+    u = uf.Find(u);
+    v = uf.Find(v);
+    edges.push_back({u, v});
+    typed.push_back({u, v, strict});
+  };
+  for (const Comparison& c : q.comparisons()) {
+    int a = node_of(c.lhs), b = node_of(c.rhs);
+    if (a < 0 || b < 0) continue;
+    if (c.op == CmpOp::kLt) add_edge(a, b, true);
+    if (c.op == CmpOp::kLe) add_edge(a, b, false);
+  }
+  for (size_t i = 0; i + 1 < vals.size(); ++i) {
+    add_edge(nv + static_cast<int>(i), nv + static_cast<int>(i) + 1, true);
+  }
+
+  std::vector<int> scc = SccIds(n, edges);
+  for (auto [u, v, strict] : typed) {
+    if (strict && scc[u] == scc[v]) return false;
+  }
+  // Forced-equal classes with distinct constants, or violated !=.
+  std::map<int, int64_t> scc_const;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    int s = scc[uf.Find(nv + static_cast<int>(i))];
+    auto it = scc_const.find(s);
+    if (it != scc_const.end() && it->second != vals[i]) return false;
+    scc_const[s] = vals[i];
+  }
+  for (const Comparison& c : q.comparisons()) {
+    if (c.op != CmpOp::kNe) continue;
+    int a = node_of(c.lhs), b = node_of(c.rhs);
+    if (a < 0 || b < 0) continue;
+    if (scc[uf.Find(a)] == scc[uf.Find(b)]) return false;
+  }
+  return true;
+}
+
+Query NormalizeEqualities(const Query& q, bool* unsatisfiable) {
+  *unsatisfiable = false;
+  const Catalog& cat = *q.catalog();
+  int nv = q.num_vars();
+
+  // Union-find over variables; each class may acquire one pinned constant.
+  UnionFind uf(nv);
+  std::vector<std::optional<Term>> pinned(nv);
+  auto pin = [&](int rep, Term c) -> bool {
+    if (pinned[rep].has_value()) return *pinned[rep] == c;
+    pinned[rep] = c;
+    return true;
+  };
+  for (const Comparison& c : q.comparisons()) {
+    if (c.op != CmpOp::kEq) continue;
+    if (c.lhs.is_var() && c.rhs.is_var()) {
+      int ra = uf.Find(c.lhs.var());
+      int rb = uf.Find(c.rhs.var());
+      if (ra == rb) continue;
+      uf.Unite(ra, rb);
+      int r = uf.Find(ra);
+      std::optional<Term> pa = pinned[ra], pb = pinned[rb];
+      if (pa.has_value() && pb.has_value() && !(*pa == *pb)) {
+        *unsatisfiable = true;
+        return q;
+      }
+      pinned[r] = pa.has_value() ? pa : pb;
+    } else if (c.lhs.is_var() || c.rhs.is_var()) {
+      Term v = c.lhs.is_var() ? c.lhs : c.rhs;
+      Term k = c.lhs.is_var() ? c.rhs : c.lhs;
+      if (!pin(uf.Find(v.var()), k)) {
+        *unsatisfiable = true;
+        return q;
+      }
+    } else if (!(c.lhs == c.rhs)) {
+      // const = const: equal numerics could have distinct ConstIds only if
+      // spelled differently, which InternConstant canonicalizes; differing
+      // ids mean differing values.
+      auto a = NumericOf(cat, c.lhs.constant());
+      auto b = NumericOf(cat, c.rhs.constant());
+      if (!a.has_value() || !b.has_value() || *a != *b) {
+        *unsatisfiable = true;
+        return q;
+      }
+    }
+  }
+
+  // Build the rewritten query over representative terms.
+  Query out(q.catalog());
+  std::vector<std::optional<Term>> new_term(nv);
+  auto map_term = [&](Term t) -> Term {
+    if (t.is_const()) return t;
+    int rep = uf.Find(t.var());
+    if (pinned[rep].has_value()) return *pinned[rep];
+    if (!new_term[rep].has_value()) {
+      new_term[rep] = Term::Var(out.AddVariable(q.var_name(rep)));
+    }
+    return *new_term[rep];
+  };
+  Atom head = q.head();
+  for (Term& t : head.args) t = map_term(t);
+  out.set_head(std::move(head));
+  for (const Atom& a : q.body()) {
+    Atom na = a;
+    for (Term& t : na.args) t = map_term(t);
+    out.AddBodyAtom(std::move(na));
+  }
+  for (const Comparison& c : q.comparisons()) {
+    if (c.op == CmpOp::kEq) continue;  // applied above
+    Comparison nc(c.op, map_term(c.lhs), map_term(c.rhs));
+    if (nc.lhs == nc.rhs) {
+      if (nc.op == CmpOp::kLe) continue;  // trivially true
+      *unsatisfiable = true;              // t < t or t != t
+      return q;
+    }
+    if (nc.lhs.is_const() && nc.rhs.is_const()) {
+      auto a = NumericOf(cat, nc.lhs.constant());
+      auto b = NumericOf(cat, nc.rhs.constant());
+      if (a.has_value() && b.has_value()) {
+        if (!EvalCmp(nc.op, *a, *b)) {
+          *unsatisfiable = true;
+          return q;
+        }
+        continue;  // trivially true
+      }
+    }
+    out.AddComparison(nc);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Linearization enumeration.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LinClass {
+  std::optional<int64_t> value;  // pinned numeric value, if any
+  std::vector<VarId> vars;
+};
+
+class LinEnumerator {
+ public:
+  LinEnumerator(const Query& q, const std::vector<VarId>& vars,
+                const std::vector<int64_t>& spine, uint64_t cap)
+      : q_(q), cap_(cap) {
+    for (int64_t v : spine) classes_.push_back(LinClass{v, {}});
+    // Place most-constrained variables first.
+    std::vector<int> cmp_count(q.num_vars(), 0);
+    for (const Comparison& c : q.comparisons()) {
+      if (c.lhs.is_var()) ++cmp_count[c.lhs.var()];
+      if (c.rhs.is_var()) ++cmp_count[c.rhs.var()];
+    }
+    order_ = vars;
+    std::sort(order_.begin(), order_.end(), [&](VarId a, VarId b) {
+      if (cmp_count[a] != cmp_count[b]) return cmp_count[a] > cmp_count[b];
+      return a < b;
+    });
+    placed_.assign(q.num_vars(), false);
+    var_class_.assign(q.num_vars(), -1);
+  }
+
+  Result<std::vector<Linearization>> Run() {
+    Status st = Recurse(0);
+    if (!st.ok()) return st;
+    return std::move(out_);
+  }
+
+ private:
+  // Index of the class currently holding term `t`, or -1 if not applicable
+  // (unplaced var / symbolic constant).
+  int ClassOf(Term t) const {
+    if (t.is_var()) {
+      return placed_[t.var()] ? var_class_[t.var()] : -1;
+    }
+    auto v = NumericOf(*q_.catalog(), t.constant());
+    if (!v.has_value()) return -1;
+    for (int i = 0; i < static_cast<int>(classes_.size()); ++i) {
+      if (classes_[i].value.has_value() && *classes_[i].value == *v) return i;
+    }
+    return -1;
+  }
+
+  // Checks every comparison whose endpoints are all decided; order-monotone,
+  // so a violation here can never be repaired by later insertions.
+  bool Consistent() const {
+    for (const Comparison& c : q_.comparisons()) {
+      auto decided = [&](Term t) {
+        if (t.is_var()) return placed_[t.var()];
+        return true;
+      };
+      if (!decided(c.lhs) || !decided(c.rhs)) continue;
+      int a = ClassOf(c.lhs);
+      int b = ClassOf(c.rhs);
+      if (a < 0 || b < 0) {
+        // Symbolic constant in a comparison: only = / != are meaningful.
+        bool identical = c.lhs == c.rhs;
+        if (c.op == CmpOp::kEq && !identical) return false;
+        if (c.op == CmpOp::kNe && identical) return false;
+        if (c.op == CmpOp::kLt) return false;
+        if (c.op == CmpOp::kLe && !identical) return false;
+        continue;
+      }
+      if (!EvalCmp(c.op, a, b)) return false;  // ranks compare like values
+    }
+    return true;
+  }
+
+  Status Recurse(size_t depth) {
+    if (++nodes_ > cap_ * 64 + 4096) {
+      return Status::ResourceExhausted("linearization enumeration node cap");
+    }
+    if (depth == order_.size()) {
+      if (out_.size() >= cap_) {
+        return Status::ResourceExhausted(
+            "more than " + std::to_string(cap_) + " linearizations");
+      }
+      Linearization lin;
+      lin.var_rank.assign(q_.num_vars(), -1);
+      for (int i = 0; i < static_cast<int>(classes_.size()); ++i) {
+        lin.rank_value.push_back(classes_[i].value);
+        for (VarId v : classes_[i].vars) lin.var_rank[v] = i;
+      }
+      out_.push_back(std::move(lin));
+      return Status::OK();
+    }
+    VarId v = order_[depth];
+    // Option A: join an existing class.
+    for (int i = 0; i < static_cast<int>(classes_.size()); ++i) {
+      classes_[i].vars.push_back(v);
+      placed_[v] = true;
+      var_class_[v] = i;
+      if (Consistent()) AQV_RETURN_NOT_OK(Recurse(depth + 1));
+      placed_[v] = false;
+      var_class_[v] = -1;
+      classes_[i].vars.pop_back();
+    }
+    // Option B: open a new class in any gap.
+    for (int g = 0; g <= static_cast<int>(classes_.size()); ++g) {
+      classes_.insert(classes_.begin() + g, LinClass{std::nullopt, {v}});
+      // Shift recorded classes at or after the gap.
+      for (VarId w = 0; w < static_cast<VarId>(var_class_.size()); ++w) {
+        if (placed_[w] && var_class_[w] >= g) ++var_class_[w];
+      }
+      placed_[v] = true;
+      var_class_[v] = g;
+      if (Consistent()) AQV_RETURN_NOT_OK(Recurse(depth + 1));
+      placed_[v] = false;
+      classes_.erase(classes_.begin() + g);
+      for (VarId w = 0; w < static_cast<VarId>(var_class_.size()); ++w) {
+        if (placed_[w] && var_class_[w] > g) --var_class_[w];
+      }
+      var_class_[v] = -1;
+    }
+    return Status::OK();
+  }
+
+  const Query& q_;
+  uint64_t cap_;
+  uint64_t nodes_ = 0;
+  std::vector<LinClass> classes_;
+  std::vector<VarId> order_;
+  std::vector<bool> placed_;
+  std::vector<int> var_class_;
+  std::vector<Linearization> out_;
+};
+
+}  // namespace
+
+Result<std::vector<Linearization>> EnumerateLinearizations(
+    const Query& q, const std::vector<VarId>& vars_to_rank,
+    const std::vector<int64_t>& spine_values, uint64_t cap) {
+  LinEnumerator e(q, vars_to_rank, spine_values, cap);
+  return e.Run();
+}
+
+// ---------------------------------------------------------------------------
+// The containment test itself.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Variables of `sub` whose rank can influence either side of the test:
+// sub's own comparison variables, plus any sub variable occurring at a
+// (predicate, position) where a compared variable of some `super` occurs
+// (an over-approximation of the possible homomorphism images).
+std::vector<VarId> RelevantVars(const Query& sub,
+                                const std::vector<const Query*>& supers) {
+  std::set<std::pair<PredId, int>> positions;
+  for (const Query* sp : supers) {
+    std::set<VarId> compared;
+    for (const Comparison& c : sp->comparisons()) {
+      if (c.lhs.is_var()) compared.insert(c.lhs.var());
+      if (c.rhs.is_var()) compared.insert(c.rhs.var());
+    }
+    for (const Atom& a : sp->body()) {
+      for (int i = 0; i < a.arity(); ++i) {
+        if (a.args[i].is_var() && compared.count(a.args[i].var())) {
+          positions.insert({a.pred, i});
+        }
+      }
+    }
+  }
+  std::set<VarId> rel;
+  for (const Comparison& c : sub.comparisons()) {
+    if (c.lhs.is_var()) rel.insert(c.lhs.var());
+    if (c.rhs.is_var()) rel.insert(c.rhs.var());
+  }
+  for (const Atom& a : sub.body()) {
+    for (int i = 0; i < a.arity(); ++i) {
+      if (a.args[i].is_var() && positions.count({a.pred, i})) {
+        rel.insert(a.args[i].var());
+      }
+    }
+  }
+  return std::vector<VarId>(rel.begin(), rel.end());
+}
+
+// Evaluates `super`'s comparisons under homomorphism h and linearization lin.
+bool ComparisonsHold(const Query& super, const Query& sub,
+                     const Substitution& h, const Linearization& lin) {
+  const Catalog& cat = *sub.catalog();
+  auto rank_of = [&](Term t, bool* symbolic, ConstId* sym_id) -> int {
+    *symbolic = false;
+    if (t.is_var()) return lin.var_rank[t.var()];
+    auto v = NumericOf(cat, t.constant());
+    if (!v.has_value()) {
+      *symbolic = true;
+      *sym_id = t.constant();
+      return -1;
+    }
+    for (int i = 0; i < static_cast<int>(lin.rank_value.size()); ++i) {
+      if (lin.rank_value[i].has_value() && *lin.rank_value[i] == *v) return i;
+    }
+    return -1;
+  };
+  for (const Comparison& c : super.comparisons()) {
+    Term l = c.lhs.is_var() ? h.Get(c.lhs.var()) : c.lhs;
+    Term r = c.rhs.is_var() ? h.Get(c.rhs.var()) : c.rhs;
+    bool lsym = false, rsym = false;
+    ConstId lid = -1, rid = -1;
+    int rl = rank_of(l, &lsym, &lid);
+    int rr = rank_of(r, &rsym, &rid);
+    if (lsym || rsym) {
+      bool identical = lsym && rsym && lid == rid;
+      switch (c.op) {
+        case CmpOp::kEq:
+          if (!identical) return false;
+          break;
+        case CmpOp::kNe:
+          if (identical) return false;
+          break;
+        case CmpOp::kLt:
+          return false;
+        case CmpOp::kLe:
+          if (!identical) return false;
+          break;
+      }
+      continue;
+    }
+    if (rl < 0 || rr < 0) return false;  // defensive: unranked image
+    if (!EvalCmp(c.op, rl, rr)) return false;
+  }
+  return true;
+}
+
+// Rewrites `sub` identifying terms that share a rank under `lin`: each
+// ranked variable becomes its class representative (the pinned constant if
+// the class carries a value, else the smallest variable of the class). This
+// is the canonical database of the linearization, reified as a query, so the
+// homomorphism search sees e.g. r(X, Y) with X=Y forced as r(X, X).
+Query CollapseByLinearization(const Query& sub, const Linearization& lin,
+                              const std::map<int64_t, ConstId>& const_of) {
+  int ranks = static_cast<int>(lin.rank_value.size());
+  std::vector<Term> rep(ranks, Term::Var(-1));
+  for (int r = 0; r < ranks; ++r) {
+    if (lin.rank_value[r].has_value()) {
+      auto it = const_of.find(*lin.rank_value[r]);
+      if (it != const_of.end()) rep[r] = Term::Const(it->second);
+    }
+  }
+  for (VarId v = sub.num_vars() - 1; v >= 0; --v) {
+    int r = lin.var_rank[v];
+    if (r >= 0 && !rep[r].is_const()) rep[r] = Term::Var(v);
+  }
+  auto map_term = [&](Term t) -> Term {
+    if (!t.is_var()) return t;
+    int r = lin.var_rank[t.var()];
+    if (r < 0 || rep[r] == Term::Var(-1)) return t;
+    return rep[r];
+  };
+  Query out(sub.catalog());
+  for (int v = 0; v < sub.num_vars(); ++v) out.AddVariable(sub.var_name(v));
+  Atom head = sub.head();
+  for (Term& t : head.args) t = map_term(t);
+  out.set_head(std::move(head));
+  for (const Atom& a : sub.body()) {
+    Atom na = a;
+    for (Term& t : na.args) t = map_term(t);
+    out.AddBodyAtom(std::move(na));
+  }
+  return out;
+}
+
+Result<bool> ContainedInAnyUnderLinearizations(
+    const Query& sub, const std::vector<const Query*>& supers,
+    const ContainmentOptions& options) {
+  if (!ComparisonsSatisfiable(sub)) return true;
+
+  std::map<int64_t, ConstId> const_of;
+  CollectNumericConsts(sub, &const_of);
+  for (const Query* sp : supers) CollectNumericConsts(*sp, &const_of);
+  std::vector<int64_t> spine;
+  for (const auto& [value, id] : const_of) spine.push_back(value);
+  std::vector<VarId> relevant = RelevantVars(sub, supers);
+
+  AQV_ASSIGN_OR_RETURN(
+      std::vector<Linearization> lins,
+      EnumerateLinearizations(sub, relevant, spine,
+                              options.linearization_cap));
+  HomSearchOptions hopts;
+  hopts.node_budget = options.node_budget;
+  for (const Linearization& lin : lins) {
+    Query collapsed = CollapseByLinearization(sub, lin, const_of);
+    bool found = false;
+    for (const Query* sp : supers) {
+      auto cb = [&](const Substitution& h) {
+        if (ComparisonsHold(*sp, collapsed, h, lin)) {
+          found = true;
+          return false;  // stop enumeration
+        }
+        return true;
+      };
+      AQV_ASSIGN_OR_RETURN(int64_t n,
+                           ForEachHomomorphism(*sp, collapsed, hopts, cb));
+      (void)n;
+      if (found) break;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> ComparisonAwareIsContainedIn(const Query& sub, const Query& super,
+                                          const ContainmentOptions& options) {
+  return ContainedInAnyUnderLinearizations(sub, {&super}, options);
+}
+
+Result<bool> ComparisonAwareIsContainedInUnion(
+    const Query& sub, const UnionQuery& super,
+    const ContainmentOptions& options) {
+  std::vector<const Query*> supers;
+  supers.reserve(super.disjuncts.size());
+  for (const Query& d : super.disjuncts) supers.push_back(&d);
+  if (supers.empty()) return !ComparisonsSatisfiable(sub);
+  return ContainedInAnyUnderLinearizations(sub, supers, options);
+}
+
+}  // namespace aqv

@@ -1,0 +1,76 @@
+#ifndef AQV_CONTAINMENT_COMPARISON_CONTAINMENT_H_
+#define AQV_CONTAINMENT_COMPARISON_CONTAINMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cq/query.h"
+#include "util/status.h"
+
+namespace aqv {
+
+struct ContainmentOptions;
+
+/// \brief Complete containment test for CQs with built-in comparisons over a
+/// dense ordered domain (Klug's linearization criterion):
+///
+///   sub ⊑ super  iff  for every total preorder λ of sub's terms consistent
+///   with sub's comparisons, there is a containment mapping h from super
+///   into sub whose image satisfies super's comparisons under λ.
+///
+/// The number of linearizations is the ordered-Bell-scale quantity that makes
+/// this problem Π²ₚ-complete; `options.linearization_cap` bounds the
+/// enumeration and the call fails with kResourceExhausted beyond it instead
+/// of answering unsoundly.
+///
+/// Semantics note: the comparison domain is dense and unbounded (ℚ). Results
+/// are sound for the integer-valued evaluation engine (a ⊑ over ℚ implies ⊑
+/// over ℤ instances) but may report non-containment for pairs that are
+/// contained only because of integer gaps (e.g. X < Y, Y < X+1).
+Result<bool> ComparisonAwareIsContainedIn(const Query& sub, const Query& super,
+                                          const ContainmentOptions& options);
+
+/// Union variant: checks each linearization of `sub` against all disjuncts.
+Result<bool> ComparisonAwareIsContainedInUnion(const Query& sub,
+                                               const UnionQuery& super,
+                                               const ContainmentOptions& options);
+
+/// \brief Decides satisfiability of a conjunction of comparisons over a dense
+/// ordered domain, in polynomial time.
+///
+/// Collapses `=` classes (union-find), then looks for a `<` edge inside a
+/// strongly connected component of the ≤/< constraint graph, a `!=` within a
+/// forced-equal class, or two distinct constants forced equal.
+bool ComparisonsSatisfiable(const Query& q);
+
+/// \brief Equality-normalizes `q`: applies every `=` constraint by
+/// collapsing variables (var=var) or substituting constants (var=const),
+/// removing the processed equalities. Returns the rewritten query.
+///
+/// If the equalities are directly contradictory (const=const with different
+/// values), sets *unsatisfiable and the returned query is `q` unchanged.
+Query NormalizeEqualities(const Query& q, bool* unsatisfiable);
+
+/// \brief One total preorder over a query's terms: `var_rank[v]` gives the
+/// rank of ranked variables (-1 for variables outside the ranked set), and
+/// `rank_constant[r]` pins rank r to a numeric constant value (nullopt for
+/// ranks holding only variables). Equal ranks mean identified terms; rank
+/// order is value order. Exposed for testing and for the T5 bench.
+struct Linearization {
+  std::vector<int> var_rank;
+  std::vector<std::optional<int64_t>> rank_value;
+};
+
+/// Enumerates all linearizations of `vars_to_rank` (interleaved with the
+/// distinct numeric constants `spine_values`, pre-sorted ascending)
+/// consistent with q's comparisons. Variables outside `vars_to_rank` must
+/// not appear in q's comparisons. Stops past `cap` completed linearizations
+/// with kResourceExhausted.
+Result<std::vector<Linearization>> EnumerateLinearizations(
+    const Query& q, const std::vector<VarId>& vars_to_rank,
+    const std::vector<int64_t>& spine_values, uint64_t cap);
+
+}  // namespace aqv
+
+#endif  // AQV_CONTAINMENT_COMPARISON_CONTAINMENT_H_

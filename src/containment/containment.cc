@@ -1,0 +1,78 @@
+#include "containment/containment.h"
+
+#include "containment/comparison_containment.h"
+#include "containment/homomorphism.h"
+
+namespace aqv {
+
+namespace {
+
+bool AnyComparisons(const Query& a, const Query& b) {
+  return a.has_comparisons() || b.has_comparisons();
+}
+
+bool AnyComparisons(const Query& a, const UnionQuery& u) {
+  if (a.has_comparisons()) return true;
+  for (const Query& d : u.disjuncts) {
+    if (d.has_comparisons()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> IsContainedIn(const Query& sub, const Query& super,
+                           const ContainmentOptions& options) {
+  if (!AnyComparisons(sub, super)) {
+    HomSearchOptions hopts;
+    hopts.node_budget = options.node_budget;
+    return FindHomomorphism(super, sub, hopts);
+  }
+  return ComparisonAwareIsContainedIn(sub, super, options);
+}
+
+Result<bool> AreEquivalent(const Query& a, const Query& b,
+                           const ContainmentOptions& options) {
+  AQV_ASSIGN_OR_RETURN(bool ab, IsContainedIn(a, b, options));
+  if (!ab) return false;
+  return IsContainedIn(b, a, options);
+}
+
+Result<bool> IsContainedInUnion(const Query& sub, const UnionQuery& super,
+                                const ContainmentOptions& options) {
+  if (super.empty()) {
+    // Contained in the empty union only if `sub` is unsatisfiable.
+    return !ComparisonsSatisfiable(sub);
+  }
+  if (!AnyComparisons(sub, super)) {
+    // Sagiv-Yannakakis: containment in a union of CQs is witnessed by a
+    // single disjunct.
+    for (const Query& d : super.disjuncts) {
+      AQV_ASSIGN_OR_RETURN(bool in, IsContainedIn(sub, d, options));
+      if (in) return true;
+    }
+    return false;
+  }
+  return ComparisonAwareIsContainedInUnion(sub, super, options);
+}
+
+Result<bool> UnionIsContainedIn(const UnionQuery& sub, const Query& super,
+                                const ContainmentOptions& options) {
+  for (const Query& d : sub.disjuncts) {
+    AQV_ASSIGN_OR_RETURN(bool in, IsContainedIn(d, super, options));
+    if (!in) return false;
+  }
+  return true;
+}
+
+Result<bool> UnionIsContainedInUnion(const UnionQuery& sub,
+                                     const UnionQuery& super,
+                                     const ContainmentOptions& options) {
+  for (const Query& d : sub.disjuncts) {
+    AQV_ASSIGN_OR_RETURN(bool in, IsContainedInUnion(d, super, options));
+    if (!in) return false;
+  }
+  return true;
+}
+
+}  // namespace aqv

@@ -1,0 +1,54 @@
+#ifndef AQV_CONTAINMENT_CONTAINMENT_H_
+#define AQV_CONTAINMENT_CONTAINMENT_H_
+
+#include <cstdint>
+
+#include "cq/catalog.h"
+#include "cq/query.h"
+#include "util/status.h"
+
+namespace aqv {
+
+/// Options threaded through every containment decision.
+struct ContainmentOptions {
+  /// Backtracking budget per homomorphism search.
+  uint64_t node_budget = 5'000'000;
+  /// Cap on the number of linearizations enumerated by the comparison-aware
+  /// test (see comparison_containment.h). The test is Π²ₚ-hard in general;
+  /// the cap keeps callers total.
+  uint64_t linearization_cap = 200'000;
+};
+
+/// \brief Decides `sub ⊑ super`: every answer of `sub` is an answer of
+/// `super` on every database.
+///
+/// Comparison-free pair: Chandra-Merlin containment mapping from `super`
+/// into `sub`. If either query carries comparisons, delegates to the
+/// complete linearization test (dense-order semantics; see
+/// comparison_containment.h).
+Result<bool> IsContainedIn(const Query& sub, const Query& super,
+                           const ContainmentOptions& options = {});
+
+/// Decides `sub ≡ super` (mutual containment).
+Result<bool> AreEquivalent(const Query& a, const Query& b,
+                           const ContainmentOptions& options = {});
+
+/// CQ ⊑ UCQ. For comparison-free queries this holds iff `sub` is contained
+/// in some single disjunct (Sagiv-Yannakakis); with comparisons the test
+/// falls back to the linearization machinery, which checks each
+/// linearization against the whole union.
+Result<bool> IsContainedInUnion(const Query& sub, const UnionQuery& super,
+                                const ContainmentOptions& options = {});
+
+/// UCQ ⊑ CQ: every disjunct must be contained.
+Result<bool> UnionIsContainedIn(const UnionQuery& sub, const Query& super,
+                                const ContainmentOptions& options = {});
+
+/// UCQ ⊑ UCQ: every disjunct of `sub` contained in the union `super`.
+Result<bool> UnionIsContainedInUnion(const UnionQuery& sub,
+                                     const UnionQuery& super,
+                                     const ContainmentOptions& options = {});
+
+}  // namespace aqv
+
+#endif  // AQV_CONTAINMENT_CONTAINMENT_H_

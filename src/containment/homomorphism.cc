@@ -1,0 +1,179 @@
+#include "containment/homomorphism.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace aqv {
+
+namespace {
+
+/// Backtracking engine shared by the find-one and for-each entry points.
+class HomSearch {
+ public:
+  HomSearch(const Query& from, const Query& to, const HomSearchOptions& opts,
+            const std::function<bool(const Substitution&)>& cb)
+      : from_(from), to_(to), opts_(opts), cb_(cb), subst_(from.num_vars()) {
+    // Index target atoms by predicate for candidate generation.
+    by_pred_.resize(to.catalog()->num_predicates());
+    for (int i = 0; i < static_cast<int>(to_.body().size()); ++i) {
+      PredId p = to_.body()[i].pred;
+      if (p >= 0 && p < static_cast<PredId>(by_pred_.size())) {
+        by_pred_[p].push_back(i);
+      }
+    }
+    mapped_.assign(from_.body().size(), false);
+  }
+
+  /// Runs the search. Returns the visit count, or an error on budget
+  /// exhaustion. Sets stopped_early if the callback returned false.
+  Result<int64_t> Run() {
+    if (opts_.map_head) {
+      const Atom& hf = from_.head();
+      const Atom& ht = to_.head();
+      if (hf.arity() != ht.arity()) return int64_t{0};
+      for (int i = 0; i < hf.arity(); ++i) {
+        if (!UnifyArg(hf.args[i], ht.args[i])) return int64_t{0};
+      }
+    }
+    Status st = Recurse(0);
+    if (!st.ok()) return st;
+    return found_;
+  }
+
+ private:
+  bool UnifyArg(Term from_arg, Term to_arg) {
+    if (from_arg.is_const()) return from_arg == to_arg;
+    return subst_.BindOrCheck(from_arg.var(), to_arg);
+  }
+
+  /// Quick compatibility test of from-atom `a` against to-atom `b` under the
+  /// current partial substitution, without binding.
+  bool Compatible(const Atom& a, const Atom& b) const {
+    for (int i = 0; i < a.arity(); ++i) {
+      Term fa = a.args[i];
+      Term tb = b.args[i];
+      if (fa.is_const()) {
+        if (fa != tb) return false;
+      } else if (subst_.IsBound(fa.var()) && subst_.Get(fa.var()) != tb) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Chooses the unmapped from-atom with the fewest compatible targets
+  /// (fail-first), or the first unmapped atom under static ordering.
+  /// Returns -1 when all atoms are mapped.
+  int PickAtom(int* num_candidates) const {
+    if (!opts_.dynamic_ordering) {
+      for (int i = 0; i < static_cast<int>(from_.body().size()); ++i) {
+        if (mapped_[i]) continue;
+        const Atom& a = from_.body()[i];
+        int count = 0;
+        if (a.pred >= 0 && a.pred < static_cast<PredId>(by_pred_.size())) {
+          for (int j : by_pred_[a.pred]) {
+            if (Compatible(a, to_.body()[j])) ++count;
+          }
+        }
+        *num_candidates = count;
+        return i;
+      }
+      *num_candidates = 0;
+      return -1;
+    }
+    int best = -1;
+    int best_count = INT32_MAX;
+    for (int i = 0; i < static_cast<int>(from_.body().size()); ++i) {
+      if (mapped_[i]) continue;
+      const Atom& a = from_.body()[i];
+      int count = 0;
+      if (a.pred >= 0 && a.pred < static_cast<PredId>(by_pred_.size())) {
+        for (int j : by_pred_[a.pred]) {
+          if (Compatible(a, to_.body()[j])) ++count;
+        }
+      }
+      if (count < best_count) {
+        best_count = count;
+        best = i;
+        if (count == 0) break;
+      }
+    }
+    *num_candidates = best == -1 ? 0 : best_count;
+    return best;
+  }
+
+  Status Recurse(int depth) {
+    if (stopped_early_) return Status::OK();
+    if (++nodes_ > opts_.node_budget) {
+      return Status::ResourceExhausted(
+          "homomorphism search exceeded node budget of " +
+          std::to_string(opts_.node_budget));
+    }
+    if (depth == static_cast<int>(from_.body().size())) {
+      ++found_;
+      if (!cb_(subst_)) stopped_early_ = true;
+      return Status::OK();
+    }
+    int candidates = 0;
+    int pick = PickAtom(&candidates);
+    if (pick < 0 || candidates == 0) return Status::OK();
+    const Atom& a = from_.body()[pick];
+    mapped_[pick] = true;
+    for (int j : by_pred_[a.pred]) {
+      const Atom& b = to_.body()[j];
+      size_t cp = subst_.Checkpoint();
+      bool ok = true;
+      for (int i = 0; i < a.arity() && ok; ++i) {
+        ok = UnifyArg(a.args[i], b.args[i]);
+      }
+      if (ok) {
+        Status st = Recurse(depth + 1);
+        if (!st.ok()) return st;
+        if (stopped_early_) {
+          subst_.Rollback(cp);
+          break;
+        }
+      }
+      subst_.Rollback(cp);
+    }
+    mapped_[pick] = false;
+    return Status::OK();
+  }
+
+  const Query& from_;
+  const Query& to_;
+  const HomSearchOptions& opts_;
+  const std::function<bool(const Substitution&)>& cb_;
+  Substitution subst_;
+  std::vector<std::vector<int>> by_pred_;
+  std::vector<bool> mapped_;
+  uint64_t nodes_ = 0;
+  int64_t found_ = 0;
+  bool stopped_early_ = false;
+};
+
+}  // namespace
+
+Result<bool> FindHomomorphism(const Query& from, const Query& to,
+                              const HomSearchOptions& options,
+                              Substitution* out) {
+  bool found = false;
+  auto cb = [&](const Substitution& s) {
+    found = true;
+    if (out != nullptr) *out = s;
+    return false;  // stop at first
+  };
+  HomSearch search(from, to, options, cb);
+  AQV_ASSIGN_OR_RETURN(int64_t n, search.Run());
+  (void)n;
+  return found;
+}
+
+Result<int64_t> ForEachHomomorphism(
+    const Query& from, const Query& to, const HomSearchOptions& options,
+    const std::function<bool(const Substitution&)>& cb) {
+  HomSearch search(from, to, options, cb);
+  return search.Run();
+}
+
+}  // namespace aqv

@@ -1,0 +1,142 @@
+#include "containment/minimize.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace aqv {
+
+Query CompactVariables(const Query& q) {
+  std::vector<int> remap(q.num_vars(), -1);
+  Query out(q.catalog());
+  auto map_term = [&](Term t) -> Term {
+    if (t.is_const()) return t;
+    if (remap[t.var()] == -1) {
+      remap[t.var()] = out.AddVariable(q.var_name(t.var()));
+    }
+    return Term::Var(remap[t.var()]);
+  };
+  Atom head = q.head();
+  for (Term& t : head.args) t = map_term(t);
+  out.set_head(std::move(head));
+  for (const Atom& a : q.body()) {
+    Atom na = a;
+    for (Term& t : na.args) t = map_term(t);
+    out.AddBodyAtom(std::move(na));
+  }
+  for (const Comparison& c : q.comparisons()) {
+    out.AddComparison(Comparison(c.op, map_term(c.lhs), map_term(c.rhs)));
+  }
+  return out;
+}
+
+namespace {
+
+// Variables that must stay bound by the body: head vars and comparison vars.
+std::vector<bool> RequiredVars(const Query& q) {
+  std::vector<bool> req(q.num_vars(), false);
+  for (Term t : q.head().args) {
+    if (t.is_var()) req[t.var()] = true;
+  }
+  for (const Comparison& c : q.comparisons()) {
+    if (c.lhs.is_var()) req[c.lhs.var()] = true;
+    if (c.rhs.is_var()) req[c.rhs.var()] = true;
+  }
+  return req;
+}
+
+// True if every required variable still occurs in some body atom.
+bool StillSafe(const Query& q, const std::vector<bool>& required) {
+  std::vector<bool> bound(q.num_vars(), false);
+  for (const Atom& a : q.body()) {
+    for (Term t : a.args) {
+      if (t.is_var()) bound[t.var()] = true;
+    }
+  }
+  for (int v = 0; v < q.num_vars(); ++v) {
+    if (required[v] && !bound[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Query> Minimize(const Query& q, const ContainmentOptions& options) {
+  Query current = q;
+
+  // Set-semantics cleanup: drop exact-duplicate atoms first.
+  {
+    std::vector<Atom> dedup;
+    for (const Atom& a : current.body()) {
+      if (std::find(dedup.begin(), dedup.end(), a) == dedup.end()) {
+        dedup.push_back(a);
+      }
+    }
+    if (dedup.size() != current.body().size()) {
+      Query next(current.catalog());
+      for (int v = 0; v < current.num_vars(); ++v) {
+        next.AddVariable(current.var_name(v));
+      }
+      next.set_head(current.head());
+      for (Atom& a : dedup) next.AddBodyAtom(std::move(a));
+      for (const Comparison& c : current.comparisons()) next.AddComparison(c);
+      current = std::move(next);
+    }
+  }
+
+  std::vector<bool> required = RequiredVars(current);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < static_cast<int>(current.body().size()); ++i) {
+      if (current.body().size() == 1) break;  // keep at least one atom
+      Query candidate = current;
+      candidate.RemoveBodyAtom(i);
+      if (!StillSafe(candidate, required)) continue;
+      // candidate ⊒ current always; equivalence needs candidate ⊑ current.
+      AQV_ASSIGN_OR_RETURN(bool contained,
+                           IsContainedIn(candidate, current, options));
+      if (contained) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return CompactVariables(current);
+}
+
+Result<bool> IsMinimal(const Query& q, const ContainmentOptions& options) {
+  AQV_ASSIGN_OR_RETURN(Query m, Minimize(q, options));
+  return m.body().size() == q.body().size();
+}
+
+Result<UnionQuery> MinimizeUnion(const UnionQuery& u,
+                                 const ContainmentOptions& options) {
+  std::vector<Query> cores;
+  cores.reserve(u.disjuncts.size());
+  for (const Query& d : u.disjuncts) {
+    AQV_ASSIGN_OR_RETURN(Query core, Minimize(d, options));
+    cores.push_back(std::move(core));
+  }
+  std::vector<bool> dead(cores.size(), false);
+  for (size_t i = 0; i < cores.size(); ++i) {
+    if (dead[i]) continue;
+    for (size_t j = 0; j < cores.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      AQV_ASSIGN_OR_RETURN(bool sub, IsContainedIn(cores[i], cores[j], options));
+      if (!sub) continue;
+      AQV_ASSIGN_OR_RETURN(bool back, IsContainedIn(cores[j], cores[i], options));
+      if (!back || j < i) {
+        dead[i] = true;
+        break;
+      }
+    }
+  }
+  UnionQuery out;
+  for (size_t i = 0; i < cores.size(); ++i) {
+    if (!dead[i]) out.disjuncts.push_back(std::move(cores[i]));
+  }
+  return out;
+}
+
+}  // namespace aqv

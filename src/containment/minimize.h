@@ -1,0 +1,41 @@
+#ifndef AQV_CONTAINMENT_MINIMIZE_H_
+#define AQV_CONTAINMENT_MINIMIZE_H_
+
+#include "containment/containment.h"
+#include "cq/query.h"
+#include "util/status.h"
+
+namespace aqv {
+
+/// \brief Computes the core of `q`: an equivalent query with a
+/// subset-minimal body (Chandra-Merlin minimization).
+///
+/// Repeatedly drops a body atom whenever the reduced query is still
+/// equivalent (only the reduced ⊑ original direction needs checking; the
+/// other holds because dropping conjuncts relaxes a query). Duplicate atoms
+/// are removed first. The result has its variable space compacted: unused
+/// variables are gone and remaining ones are renumbered densely.
+///
+/// For comparison-carrying queries the equivalence checks run through the
+/// comparison-aware machinery; comparisons themselves are preserved
+/// verbatim (the core is computed on the relational part).
+Result<Query> Minimize(const Query& q, const ContainmentOptions& options = {});
+
+/// Rebuilds `q` keeping only variables that occur in its head, body, or
+/// comparisons, renumbered in order of first occurrence.
+Query CompactVariables(const Query& q);
+
+/// Returns true iff `q` equals its own core (no removable atom). Exposed for
+/// tests and the LMSS search, which requires minimized inputs.
+Result<bool> IsMinimal(const Query& q, const ContainmentOptions& options = {});
+
+/// \brief Minimizes a union of CQs: each disjunct is replaced by its core,
+/// then disjuncts contained in another disjunct are dropped (keeping the
+/// first representative of mutually-equivalent groups). The result is the
+/// canonical minimal form of the union (Sagiv-Yannakakis).
+Result<UnionQuery> MinimizeUnion(const UnionQuery& u,
+                                 const ContainmentOptions& options = {});
+
+}  // namespace aqv
+
+#endif  // AQV_CONTAINMENT_MINIMIZE_H_

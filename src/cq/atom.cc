@@ -1,0 +1,34 @@
+#include "cq/atom.h"
+
+#include "cq/catalog.h"
+
+namespace aqv {
+
+namespace {
+
+std::string TermToString(Term t, const Catalog& catalog,
+                         const std::vector<std::string>& var_names) {
+  if (t.is_const()) return catalog.constant(t.constant()).name;
+  VarId v = t.var();
+  if (v >= 0 && v < static_cast<VarId>(var_names.size()) &&
+      !var_names[v].empty()) {
+    return var_names[v];
+  }
+  return "V" + std::to_string(v);
+}
+
+}  // namespace
+
+std::string Atom::ToString(const Catalog& catalog,
+                           const std::vector<std::string>& var_names) const {
+  std::string out = catalog.pred(pred).name;
+  out += '(';
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += TermToString(args[i], catalog, var_names);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,54 @@
+#ifndef AQV_CQ_ATOM_H_
+#define AQV_CQ_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/term.h"
+
+namespace aqv {
+
+class Catalog;
+
+/// \brief A relational atom `p(t1, ..., tk)`.
+///
+/// Plain data carrier: predicate id plus argument terms. Arity consistency
+/// with the Catalog is enforced at construction sites (parser, generators).
+struct Atom {
+  PredId pred = -1;
+  std::vector<Term> args;
+
+  Atom() = default;
+  Atom(PredId p, std::vector<Term> a) : pred(p), args(std::move(a)) {}
+
+  int arity() const { return static_cast<int>(args.size()); }
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.pred == b.pred && a.args == b.args;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.pred != b.pred) return a.pred < b.pred;
+    return a.args < b.args;
+  }
+
+  /// Renders e.g. "edge(X, 3)" using names from `catalog` and `var_names`
+  /// (var_names may be shorter than the max var id; missing names render as
+  /// "V<i>").
+  std::string ToString(const Catalog& catalog,
+                       const std::vector<std::string>& var_names) const;
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const {
+    size_t h = std::hash<int32_t>()(a.pred);
+    for (Term t : a.args) {
+      h = h * 1099511628211ULL ^ TermHash()(t);
+    }
+    return h;
+  }
+};
+
+}  // namespace aqv
+
+#endif  // AQV_CQ_ATOM_H_

@@ -1,0 +1,28 @@
+#ifndef AQV_CQ_CANONICAL_DB_H_
+#define AQV_CQ_CANONICAL_DB_H_
+
+#include <vector>
+
+#include "cq/catalog.h"
+#include "cq/query.h"
+
+namespace aqv {
+
+/// \brief Result of freezing a query: the query with every variable replaced
+/// by a distinct fresh constant — the classic canonical database of Chandra &
+/// Merlin, reified as a (variable-free) query.
+struct FrozenQuery {
+  /// Variable-free copy of the source query.
+  Query frozen;
+  /// var_to_const[v] is the constant that replaced source variable v.
+  std::vector<ConstId> var_to_const;
+};
+
+/// Freezes `q` by interning one fresh constant per variable in `catalog`.
+/// Used by the comparison-containment linearization test and by evaluation
+/// cross-checks (Q1 ⊑ Q2 iff head(Q1) frozen ∈ Q2(canonical_db(Q1))).
+FrozenQuery FreezeQuery(const Query& q, Catalog* catalog);
+
+}  // namespace aqv
+
+#endif  // AQV_CQ_CANONICAL_DB_H_

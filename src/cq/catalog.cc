@@ -1,0 +1,62 @@
+#include "cq/catalog.h"
+
+#include <charconv>
+
+namespace aqv {
+
+Result<PredId> Catalog::GetOrAddPredicate(std::string_view name, int arity,
+                                          PredKind kind) {
+  int32_t existing = pred_names_.Lookup(name);
+  if (existing >= 0) {
+    if (preds_[existing].arity != arity) {
+      return Status::InvalidArgument(
+          "predicate '" + std::string(name) + "' used with arity " +
+          std::to_string(arity) + " but declared with arity " +
+          std::to_string(preds_[existing].arity));
+    }
+    if (kind == PredKind::kIntensional) {
+      preds_[existing].kind = PredKind::kIntensional;
+    }
+    return existing;
+  }
+  PredId id = pred_names_.Intern(name);
+  preds_.push_back(PredInfo{std::string(name), arity, kind});
+  return id;
+}
+
+Result<PredId> Catalog::FindPredicate(std::string_view name) const {
+  int32_t id = pred_names_.Lookup(name);
+  if (id < 0) {
+    return Status::NotFound("unknown predicate '" + std::string(name) + "'");
+  }
+  return id;
+}
+
+ConstId Catalog::InternConstant(std::string_view text) {
+  int32_t existing = const_names_.Lookup(text);
+  if (existing >= 0) return existing;
+  ConstId id = const_names_.Intern(text);
+  ConstInfo info;
+  info.name = std::string(text);
+  int64_t value = 0;
+  const char* begin = info.name.data();
+  const char* end = begin + info.name.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc() && ptr == end) info.numeric = value;
+  consts_.push_back(std::move(info));
+  return id;
+}
+
+ConstId Catalog::InternNumericConstant(int64_t value) {
+  return InternConstant(std::to_string(value));
+}
+
+ConstId Catalog::FreshConstant(std::string_view prefix) {
+  for (;;) {
+    std::string name =
+        "_" + std::string(prefix) + std::to_string(fresh_counter_++);
+    if (const_names_.Lookup(name) < 0) return InternConstant(name);
+  }
+}
+
+}  // namespace aqv

@@ -1,0 +1,49 @@
+#include "cq/comparison.h"
+
+#include "cq/catalog.h"
+
+namespace aqv {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+bool EvalCmp(CmpOp op, int64_t a, int64_t b) {
+  switch (op) {
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+  }
+  return false;
+}
+
+std::string Comparison::ToString(
+    const Catalog& catalog, const std::vector<std::string>& var_names) const {
+  auto render = [&](Term t) -> std::string {
+    if (t.is_const()) return catalog.constant(t.constant()).name;
+    VarId v = t.var();
+    if (v >= 0 && v < static_cast<VarId>(var_names.size()) &&
+        !var_names[v].empty()) {
+      return var_names[v];
+    }
+    return "V" + std::to_string(v);
+  };
+  return render(lhs) + " " + CmpOpName(op) + " " + render(rhs);
+}
+
+}  // namespace aqv

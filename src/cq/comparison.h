@@ -1,0 +1,51 @@
+#ifndef AQV_CQ_COMPARISON_H_
+#define AQV_CQ_COMPARISON_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/term.h"
+
+namespace aqv {
+
+class Catalog;
+
+/// Comparison operators of the built-in predicate extension (LMSS Section on
+/// queries with arithmetic comparisons). `>` and `>=` are normalized away at
+/// parse time by swapping operands.
+enum class CmpOp : uint8_t {
+  kLt = 0,  ///< <
+  kLe = 1,  ///< <=
+  kEq = 2,  ///< =
+  kNe = 3,  ///< !=
+};
+
+/// Returns the source spelling of `op`.
+const char* CmpOpName(CmpOp op);
+
+/// Evaluates `a op b` over integers.
+bool EvalCmp(CmpOp op, int64_t a, int64_t b);
+
+/// \brief A built-in comparison literal `lhs op rhs`.
+///
+/// Operands are variables or numeric constants; the parser rejects symbolic
+/// (non-numeric) constants in comparisons.
+struct Comparison {
+  CmpOp op = CmpOp::kEq;
+  Term lhs;
+  Term rhs;
+
+  Comparison() = default;
+  Comparison(CmpOp o, Term l, Term r) : op(o), lhs(l), rhs(r) {}
+
+  friend bool operator==(const Comparison& a, const Comparison& b) {
+    return a.op == b.op && a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+
+  std::string ToString(const Catalog& catalog,
+                       const std::vector<std::string>& var_names) const;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_CQ_COMPARISON_H_

@@ -1,0 +1,280 @@
+#include "cq/parser.h"
+
+#include <cctype>
+#include <map>
+#include <string>
+
+namespace aqv {
+
+namespace {
+
+enum class TokKind {
+  kIdent,      // lowercase identifier
+  kVariable,   // uppercase / underscore identifier
+  kInteger,    // possibly negative integer literal
+  kLParen,
+  kRParen,
+  kComma,
+  kPeriod,
+  kImplies,    // :-
+  kOp,         // comparison operator, text in `text`
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= input_.size()) break;
+      int start = static_cast<int>(pos_);
+      char c = input_[pos_];
+      if (c == '(') {
+        out.push_back({TokKind::kLParen, "(", start});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({TokKind::kRParen, ")", start});
+        ++pos_;
+      } else if (c == ',') {
+        out.push_back({TokKind::kComma, ",", start});
+        ++pos_;
+      } else if (c == '.') {
+        out.push_back({TokKind::kPeriod, ".", start});
+        ++pos_;
+      } else if (c == ':') {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '-') {
+          out.push_back({TokKind::kImplies, ":-", start});
+          pos_ += 2;
+        } else {
+          return Err("expected ':-'", start);
+        }
+      } else if (c == '<' || c == '>' || c == '=' || c == '!') {
+        std::string op(1, c);
+        ++pos_;
+        if (pos_ < input_.size() && input_[pos_] == '=') {
+          op += '=';
+          ++pos_;
+        }
+        if (op == "!") return Err("expected '!='", start);
+        out.push_back({TokKind::kOp, op, start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < input_.size() &&
+                  std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+        size_t begin = pos_;
+        if (c == '-') ++pos_;
+        while (pos_ < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+          ++pos_;
+        }
+        out.push_back({TokKind::kInteger,
+                       std::string(input_.substr(begin, pos_ - begin)), start});
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t begin = pos_;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_')) {
+          ++pos_;
+        }
+        std::string word(input_.substr(begin, pos_ - begin));
+        bool is_var = std::isupper(static_cast<unsigned char>(word[0])) ||
+                      word[0] == '_';
+        out.push_back({is_var ? TokKind::kVariable : TokKind::kIdent,
+                       std::move(word), start});
+      } else {
+        return Err(std::string("unexpected character '") + c + "'", start);
+      }
+    }
+    out.push_back({TokKind::kEnd, "", static_cast<int>(pos_)});
+    return out;
+  }
+
+ private:
+  Status Err(const std::string& msg, int pos) {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos));
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class RuleParser {
+ public:
+  RuleParser(const std::vector<Token>& tokens, size_t* cursor,
+             Catalog* catalog)
+      : tokens_(tokens), cursor_(cursor), catalog_(catalog) {}
+
+  /// Parses one rule ending in '.'; leaves cursor after the period.
+  Result<Query> ParseRule() {
+    Query q(catalog_);
+    var_ids_.clear();
+
+    AQV_ASSIGN_OR_RETURN(Atom head, ParseAtom(&q, PredKind::kIntensional));
+    q.set_head(std::move(head));
+
+    if (Peek().kind == TokKind::kImplies) {
+      Advance();
+      while (true) {
+        AQV_RETURN_NOT_OK(ParseLiteral(&q));
+        if (Peek().kind == TokKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().kind != TokKind::kPeriod) {
+      return Err("expected '.' at end of rule");
+    }
+    Advance();
+    AQV_RETURN_NOT_OK(q.Validate());
+    return q;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = *cursor_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() { ++*cursor_; }
+
+  Status Err(const std::string& msg) {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().pos) + " (near '" +
+                              Peek().text + "')");
+  }
+
+  Result<Term> ParseTerm(Query* q) {
+    const Token& t = Peek();
+    if (t.kind == TokKind::kVariable) {
+      Advance();
+      auto it = var_ids_.find(t.text);
+      if (it != var_ids_.end()) return Term::Var(it->second);
+      VarId v = q->AddVariable(t.text);
+      var_ids_.emplace(t.text, v);
+      return Term::Var(v);
+    }
+    if (t.kind == TokKind::kIdent || t.kind == TokKind::kInteger) {
+      Advance();
+      return Term::Const(catalog_->InternConstant(t.text));
+    }
+    return Err("expected term");
+  }
+
+  Result<Atom> ParseAtom(Query* q, PredKind kind) {
+    const Token& name = Peek();
+    if (name.kind != TokKind::kIdent) return Err("expected predicate name");
+    Advance();
+    if (Peek().kind != TokKind::kLParen) return Err("expected '('");
+    Advance();
+    std::vector<Term> args;
+    if (Peek().kind != TokKind::kRParen) {
+      while (true) {
+        AQV_ASSIGN_OR_RETURN(Term t, ParseTerm(q));
+        args.push_back(t);
+        if (Peek().kind == TokKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().kind != TokKind::kRParen) return Err("expected ')'");
+    Advance();
+    AQV_ASSIGN_OR_RETURN(
+        PredId pred, catalog_->GetOrAddPredicate(
+                         name.text, static_cast<int>(args.size()), kind));
+    return Atom(pred, std::move(args));
+  }
+
+  Status ParseLiteral(Query* q) {
+    // Lookahead: "<term> <op>" means a comparison; "<ident> (" means an atom.
+    const Token& t = Peek();
+    bool comparison =
+        (t.kind == TokKind::kVariable || t.kind == TokKind::kInteger) ||
+        (t.kind == TokKind::kIdent && Peek(1).kind == TokKind::kOp);
+    if (comparison) {
+      AQV_ASSIGN_OR_RETURN(Term lhs, ParseTerm(q));
+      if (Peek().kind != TokKind::kOp) return Err("expected comparison operator");
+      std::string op = Peek().text;
+      Advance();
+      AQV_ASSIGN_OR_RETURN(Term rhs, ParseTerm(q));
+      if (op == "<") {
+        q->AddComparison(Comparison(CmpOp::kLt, lhs, rhs));
+      } else if (op == "<=") {
+        q->AddComparison(Comparison(CmpOp::kLe, lhs, rhs));
+      } else if (op == ">") {
+        q->AddComparison(Comparison(CmpOp::kLt, rhs, lhs));
+      } else if (op == ">=") {
+        q->AddComparison(Comparison(CmpOp::kLe, rhs, lhs));
+      } else if (op == "=") {
+        q->AddComparison(Comparison(CmpOp::kEq, lhs, rhs));
+      } else if (op == "!=") {
+        q->AddComparison(Comparison(CmpOp::kNe, lhs, rhs));
+      } else {
+        return Err("unknown operator '" + op + "'");
+      }
+      return Status::OK();
+    }
+    AQV_ASSIGN_OR_RETURN(Atom a, ParseAtom(q, PredKind::kExtensional));
+    q->AddBodyAtom(std::move(a));
+    return Status::OK();
+  }
+
+  const std::vector<Token>& tokens_;
+  size_t* cursor_;
+  Catalog* catalog_;
+  std::map<std::string, VarId> var_ids_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text, Catalog* catalog) {
+  Lexer lexer(text);
+  AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  size_t cursor = 0;
+  RuleParser parser(tokens, &cursor, catalog);
+  AQV_ASSIGN_OR_RETURN(Query q, parser.ParseRule());
+  if (tokens[cursor].kind != TokKind::kEnd) {
+    return Status::ParseError("trailing input after rule at offset " +
+                              std::to_string(tokens[cursor].pos));
+  }
+  return q;
+}
+
+Result<std::vector<Query>> ParseProgram(std::string_view text,
+                                        Catalog* catalog) {
+  Lexer lexer(text);
+  AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  size_t cursor = 0;
+  std::vector<Query> out;
+  while (tokens[cursor].kind != TokKind::kEnd) {
+    RuleParser parser(tokens, &cursor, catalog);
+    AQV_ASSIGN_OR_RETURN(Query q, parser.ParseRule());
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,33 @@
+#ifndef AQV_CQ_PARSER_H_
+#define AQV_CQ_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "cq/catalog.h"
+#include "cq/query.h"
+#include "util/status.h"
+
+namespace aqv {
+
+/// \brief Parses one rule in datalog-ish surface syntax:
+///
+///   q(X, Y) :- edge(X, Z), edge(Z, Y), X < 5, Y != 7.
+///
+/// Tokens starting with an uppercase letter or '_' are variables; lowercase
+/// identifiers and integer literals are constants; predicate symbols are
+/// lowercase identifiers. `%` starts a line comment. Comparison operators:
+/// <, <=, >, >=, =, != (with > and >= normalized by operand swap).
+///
+/// The head predicate is registered as intensional in `catalog`; body
+/// predicates default to extensional. Arity consistency is enforced against
+/// previous uses. The returned query is Validate()d.
+Result<Query> ParseQuery(std::string_view text, Catalog* catalog);
+
+/// Parses a newline/period-separated sequence of rules.
+Result<std::vector<Query>> ParseProgram(std::string_view text,
+                                        Catalog* catalog);
+
+}  // namespace aqv
+
+#endif  // AQV_CQ_PARSER_H_

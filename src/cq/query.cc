@@ -1,0 +1,225 @@
+#include "cq/query.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+namespace aqv {
+
+VarId Query::AddVariable(std::string name) {
+  var_names_.push_back(std::move(name));
+  return static_cast<VarId>(var_names_.size()) - 1;
+}
+
+VarId Query::AddVariables(int count, std::string_view prefix) {
+  VarId first = static_cast<VarId>(var_names_.size());
+  for (int i = 0; i < count; ++i) {
+    var_names_.push_back(std::string(prefix) + std::to_string(i));
+  }
+  return first;
+}
+
+void Query::RemoveBodyAtom(int index) {
+  body_.erase(body_.begin() + index);
+}
+
+std::vector<VarId> Query::HeadVars() const {
+  std::vector<VarId> out;
+  std::vector<bool> seen(var_names_.size(), false);
+  for (Term t : head_.args) {
+    if (t.is_var() && !seen[t.var()]) {
+      seen[t.var()] = true;
+      out.push_back(t.var());
+    }
+  }
+  return out;
+}
+
+std::vector<bool> Query::DistinguishedMask() const {
+  std::vector<bool> mask(var_names_.size(), false);
+  for (Term t : head_.args) {
+    if (t.is_var()) mask[t.var()] = true;
+  }
+  return mask;
+}
+
+std::vector<bool> Query::BodyVarMask() const {
+  std::vector<bool> mask(var_names_.size(), false);
+  for (const Atom& a : body_) {
+    for (Term t : a.args) {
+      if (t.is_var()) mask[t.var()] = true;
+    }
+  }
+  return mask;
+}
+
+std::vector<std::vector<int>> Query::VarOccurrences() const {
+  std::vector<std::vector<int>> occ(var_names_.size());
+  for (int i = 0; i < static_cast<int>(body_.size()); ++i) {
+    for (Term t : body_[i].args) {
+      if (t.is_var()) {
+        auto& v = occ[t.var()];
+        if (v.empty() || v.back() != i) v.push_back(i);
+      }
+    }
+  }
+  return occ;
+}
+
+Status Query::Validate() const {
+  if (catalog_ == nullptr) return Status::InvalidArgument("query has no catalog");
+  if (head_.pred < 0) return Status::InvalidArgument("query has no head");
+  auto check_atom = [&](const Atom& a) -> Status {
+    if (a.pred < 0 || a.pred >= catalog_->num_predicates()) {
+      return Status::InvalidArgument("atom references unknown predicate id");
+    }
+    if (a.arity() != catalog_->pred(a.pred).arity) {
+      return Status::InvalidArgument(
+          "atom arity mismatch for predicate '" + catalog_->pred(a.pred).name +
+          "': got " + std::to_string(a.arity()) + ", declared " +
+          std::to_string(catalog_->pred(a.pred).arity));
+    }
+    for (Term t : a.args) {
+      if (t.is_var() && (t.var() < 0 || t.var() >= num_vars())) {
+        return Status::InvalidArgument("atom references out-of-range variable");
+      }
+    }
+    return Status::OK();
+  };
+  AQV_RETURN_NOT_OK(check_atom(head_));
+  for (const Atom& a : body_) AQV_RETURN_NOT_OK(check_atom(a));
+
+  std::vector<bool> in_body = BodyVarMask();
+  for (Term t : head_.args) {
+    if (t.is_var() && !in_body[t.var()]) {
+      return Status::InvalidArgument("unsafe head variable '" +
+                                     var_names_[t.var()] + "'");
+    }
+  }
+  for (const Comparison& c : comparisons_) {
+    for (Term t : {c.lhs, c.rhs}) {
+      if (t.is_var()) {
+        if (t.var() < 0 || t.var() >= num_vars() || !in_body[t.var()]) {
+          return Status::InvalidArgument(
+              "comparison uses variable not bound in the body");
+        }
+      } else if (!catalog_->constant(t.constant()).numeric.has_value()) {
+        return Status::InvalidArgument(
+            "comparison uses non-numeric constant '" +
+            catalog_->constant(t.constant()).name + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Query::ToString() const {
+  std::string out = head_.ToString(*catalog_, var_names_);
+  out += " :- ";
+  bool first = true;
+  for (const Atom& a : body_) {
+    if (!first) out += ", ";
+    first = false;
+    out += a.ToString(*catalog_, var_names_);
+  }
+  for (const Comparison& c : comparisons_) {
+    if (!first) out += ", ";
+    first = false;
+    out += c.ToString(*catalog_, var_names_);
+  }
+  out += '.';
+  return out;
+}
+
+namespace {
+
+// One round of colour refinement: each variable's colour becomes a hash of
+// its old colour together with the multiset of (pred, position, old colours
+// of co-occurring terms) contexts it appears in.
+void RefineColors(const Query& q, std::vector<uint64_t>* colors) {
+  auto term_color = [&](Term t) -> uint64_t {
+    if (t.is_const()) return 0x517cc1b727220a95ULL ^ (uint64_t)t.constant();
+    return (*colors)[t.var()];
+  };
+  std::vector<std::vector<uint64_t>> contexts(colors->size());
+  for (const Atom& a : q.body()) {
+    for (int i = 0; i < a.arity(); ++i) {
+      if (!a.args[i].is_var()) continue;
+      uint64_t h = 0xcbf29ce484222325ULL;
+      auto mix = [&h](uint64_t v) { h = (h ^ v) * 0x100000001b3ULL; };
+      mix(static_cast<uint64_t>(a.pred));
+      mix(static_cast<uint64_t>(i));
+      for (int j = 0; j < a.arity(); ++j) mix(term_color(a.args[j]));
+      contexts[a.args[i].var()].push_back(h);
+    }
+  }
+  for (size_t v = 0; v < colors->size(); ++v) {
+    std::sort(contexts[v].begin(), contexts[v].end());
+    uint64_t h = (*colors)[v] * 0x9e3779b97f4a7c15ULL;
+    for (uint64_t c : contexts[v]) h = (h ^ c) * 0x100000001b3ULL;
+    (*colors)[v] = h;
+  }
+}
+
+}  // namespace
+
+std::string Query::CanonicalKey() const {
+  // Initial colours: distinguished variables keyed by head position so that
+  // head-permutations are distinguished; existential variables uniform.
+  std::vector<uint64_t> colors(var_names_.size(), 0x2545f4914f6cdd1dULL);
+  for (size_t i = 0; i < head_.args.size(); ++i) {
+    if (head_.args[i].is_var()) {
+      colors[head_.args[i].var()] ^= (i + 1) * 0xff51afd7ed558ccdULL;
+    }
+  }
+  // Comparison participation feeds colours too.
+  for (const Comparison& c : comparisons_) {
+    auto mixin = [&](Term t, uint64_t tag) {
+      if (t.is_var()) colors[t.var()] ^= tag;
+    };
+    mixin(c.lhs, 0xc4ceb9fe1a85ec53ULL * (static_cast<uint64_t>(c.op) + 1));
+    mixin(c.rhs, 0xb492b66fbe98f273ULL * (static_cast<uint64_t>(c.op) + 1));
+  }
+  for (int round = 0; round < 3; ++round) RefineColors(*this, &colors);
+
+  // Canonical atom strings ordered lexicographically.
+  auto term_key = [&](Term t) -> std::string {
+    if (t.is_const()) return "c" + std::to_string(t.constant());
+    return "v" + std::to_string(colors[t.var()]);
+  };
+  std::vector<std::string> atom_keys;
+  atom_keys.reserve(body_.size());
+  for (const Atom& a : body_) {
+    std::string k = "p" + std::to_string(a.pred);
+    for (Term t : a.args) k += "," + term_key(t);
+    atom_keys.push_back(std::move(k));
+  }
+  std::sort(atom_keys.begin(), atom_keys.end());
+  // Duplicate atoms collapse (set semantics for the key).
+  atom_keys.erase(std::unique(atom_keys.begin(), atom_keys.end()),
+                  atom_keys.end());
+
+  std::vector<std::string> cmp_keys;
+  for (const Comparison& c : comparisons_) {
+    cmp_keys.push_back(std::string(CmpOpName(c.op)) + term_key(c.lhs) + "|" +
+                       term_key(c.rhs));
+  }
+  std::sort(cmp_keys.begin(), cmp_keys.end());
+
+  std::string key = "H" + std::to_string(head_.pred);
+  for (Term t : head_.args) key += "," + term_key(t);
+  for (const auto& k : atom_keys) key += ";" + k;
+  for (const auto& k : cmp_keys) key += ";#" + k;
+  return key;
+}
+
+std::string UnionQuery::ToString() const {
+  std::string out;
+  for (const Query& q : disjuncts) {
+    out += q.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,113 @@
+#ifndef AQV_CQ_QUERY_H_
+#define AQV_CQ_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cq/atom.h"
+#include "cq/catalog.h"
+#include "cq/comparison.h"
+#include "cq/term.h"
+#include "util/status.h"
+
+namespace aqv {
+
+/// \brief A conjunctive query (CQ), optionally with built-in comparisons:
+///
+///   h(X̄) :- p1(t̄1), ..., pn(t̄n), c1, ..., cm.
+///
+/// Variables are dense local ids 0..num_vars()-1 with printable names.
+/// The head is a single atom whose predicate is intensional in the Catalog.
+/// Queries are value types; copying is cheap enough for the search
+/// algorithms, which duplicate candidate queries freely.
+class Query {
+ public:
+  Query() : catalog_(nullptr) {}
+  explicit Query(const Catalog* catalog) : catalog_(catalog) {}
+
+  // --- construction -------------------------------------------------------
+
+  /// Adds a variable with the given printable name; returns its id.
+  VarId AddVariable(std::string name);
+
+  /// Adds `count` fresh variables named `<prefix>0..`; returns first id.
+  VarId AddVariables(int count, std::string_view prefix);
+
+  void set_head(Atom head) { head_ = std::move(head); }
+  void AddBodyAtom(Atom atom) { body_.push_back(std::move(atom)); }
+  void AddComparison(Comparison c) { comparisons_.push_back(c); }
+
+  /// Removes the body atom at `index` (order of the rest preserved).
+  void RemoveBodyAtom(int index);
+
+  // --- accessors -----------------------------------------------------------
+
+  const Catalog* catalog() const { return catalog_; }
+  const Atom& head() const { return head_; }
+  const std::vector<Atom>& body() const { return body_; }
+  const std::vector<Comparison>& comparisons() const { return comparisons_; }
+  bool has_comparisons() const { return !comparisons_.empty(); }
+  int num_vars() const { return static_cast<int>(var_names_.size()); }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+  const std::string& var_name(VarId v) const { return var_names_[v]; }
+
+  // --- derived structure ---------------------------------------------------
+
+  /// Distinct head variables in order of first appearance in the head.
+  std::vector<VarId> HeadVars() const;
+
+  /// distinguished[v] == true iff variable v occurs in the head.
+  std::vector<bool> DistinguishedMask() const;
+
+  /// in_body[v] == true iff variable v occurs in some relational body atom.
+  std::vector<bool> BodyVarMask() const;
+
+  /// Body atom indices (into body()) in which variable v occurs.
+  std::vector<std::vector<int>> VarOccurrences() const;
+
+  /// Safety check: every head variable and every comparison variable must
+  /// occur in a relational body atom; all atom arities must match the
+  /// catalog; comparison constants must be numeric.
+  Status Validate() const;
+
+  // --- rendering -----------------------------------------------------------
+
+  /// Renders the rule, e.g. "q(X) :- r(X, Y), Y < 3.".
+  std::string ToString() const;
+
+  /// A renaming-invariant key: two isomorphic queries always map to the same
+  /// key; unequal keys imply non-isomorphic. (Collisions between
+  /// non-isomorphic queries are possible; callers must confirm with an
+  /// equivalence test before deduplicating.)
+  std::string CanonicalKey() const;
+
+  friend bool operator==(const Query& a, const Query& b) {
+    return a.head_ == b.head_ && a.body_ == b.body_ &&
+           a.comparisons_ == b.comparisons_ &&
+           a.var_names_.size() == b.var_names_.size();
+  }
+
+ private:
+  const Catalog* catalog_;
+  Atom head_;
+  std::vector<Atom> body_;
+  std::vector<Comparison> comparisons_;
+  std::vector<std::string> var_names_;
+};
+
+/// \brief A union of conjunctive queries with a common head predicate.
+///
+/// The output representation for maximally-contained rewritings (Bucket,
+/// MiniCon) and for interleaving-based expansions.
+struct UnionQuery {
+  std::vector<Query> disjuncts;
+
+  bool empty() const { return disjuncts.empty(); }
+  int size() const { return static_cast<int>(disjuncts.size()); }
+  std::string ToString() const;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_CQ_QUERY_H_

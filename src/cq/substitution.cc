@@ -1,0 +1,52 @@
+#include "cq/substitution.h"
+
+#include <string>
+
+namespace aqv {
+
+Atom Substitution::ApplyToAtom(const Atom& a) const {
+  Atom out(a.pred, a.args);
+  for (Term& t : out.args) t = Apply(t);
+  return out;
+}
+
+VarImporter::VarImporter(const Query& source, Query* target, std::string tag)
+    : source_(source),
+      target_(target),
+      tag_(std::move(tag)),
+      map_(source.num_vars()) {}
+
+Term VarImporter::Map(Term t) {
+  if (t.is_const()) return t;
+  VarId v = t.var();
+  if (!map_[v].has_value()) {
+    VarId fresh = target_->AddVariable(tag_ + source_.var_name(v));
+    map_[v] = Term::Var(fresh);
+  }
+  return *map_[v];
+}
+
+void VarImporter::Preset(VarId v, Term target_term) { map_[v] = target_term; }
+
+Atom VarImporter::ImportAtom(const Atom& a) {
+  Atom out(a.pred, a.args);
+  for (Term& t : out.args) t = Map(t);
+  return out;
+}
+
+Comparison VarImporter::ImportComparison(const Comparison& c) {
+  return Comparison(c.op, Map(c.lhs), Map(c.rhs));
+}
+
+Query RenameVariables(const Query& q, std::string_view prefix) {
+  Query out(q.catalog());
+  for (int v = 0; v < q.num_vars(); ++v) {
+    out.AddVariable(std::string(prefix) + std::to_string(v));
+  }
+  out.set_head(q.head());
+  for (const Atom& a : q.body()) out.AddBodyAtom(a);
+  for (const Comparison& c : q.comparisons()) out.AddComparison(c);
+  return out;
+}
+
+}  // namespace aqv

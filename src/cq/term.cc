@@ -1,0 +1,4 @@
+#include "cq/term.h"
+
+// Term is header-only; this TU anchors the target in the build graph and
+// hosts nothing else intentionally.

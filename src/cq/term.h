@@ -1,0 +1,77 @@
+#ifndef AQV_CQ_TERM_H_
+#define AQV_CQ_TERM_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace aqv {
+
+/// Dense id of a predicate symbol in a Catalog.
+using PredId = int32_t;
+/// Dense id of a constant symbol in a Catalog.
+using ConstId = int32_t;
+/// Query-local dense id of a variable (0 .. Query::num_vars()-1).
+using VarId = int32_t;
+
+/// Kind discriminator for Term.
+enum class TermKind : uint8_t {
+  kVariable = 0,
+  kConstant = 1,
+};
+
+/// \brief A term of a conjunctive query: a variable or a constant.
+///
+/// Variables are query-local dense ids so substitutions and homomorphisms can
+/// use flat vectors. Constants are Catalog-interned ids. Terms are value
+/// types, 8 bytes, freely copyable.
+class Term {
+ public:
+  /// Default-constructs variable 0; prefer the named factories.
+  Term() : id_(0), kind_(TermKind::kVariable) {}
+
+  static Term Var(VarId id) { return Term(id, TermKind::kVariable); }
+  static Term Const(ConstId id) { return Term(id, TermKind::kConstant); }
+
+  TermKind kind() const { return kind_; }
+  bool is_var() const { return kind_ == TermKind::kVariable; }
+  bool is_const() const { return kind_ == TermKind::kConstant; }
+
+  /// Variable id; precondition: is_var().
+  VarId var() const { return id_; }
+  /// Constant id; precondition: is_const().
+  ConstId constant() const { return id_; }
+
+  /// Raw id regardless of kind (for hashing / dense packing).
+  int32_t raw_id() const { return id_; }
+
+  friend bool operator==(Term a, Term b) {
+    return a.kind_ == b.kind_ && a.id_ == b.id_;
+  }
+  friend bool operator!=(Term a, Term b) { return !(a == b); }
+  friend bool operator<(Term a, Term b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.id_ < b.id_;
+  }
+
+  /// 64-bit packing (kind in bit 32) for hash maps.
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(kind_) << 32) |
+           static_cast<uint32_t>(id_);
+  }
+
+ private:
+  Term(int32_t id, TermKind kind) : id_(id), kind_(kind) {}
+
+  int32_t id_;
+  TermKind kind_;
+};
+
+struct TermHash {
+  size_t operator()(Term t) const {
+    return std::hash<uint64_t>()(t.Pack() * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+}  // namespace aqv
+
+#endif  // AQV_CQ_TERM_H_

@@ -1,0 +1,40 @@
+#include "eval/database.h"
+
+namespace aqv {
+
+Relation* Database::GetOrCreate(PredId pred) {
+  auto it = rels_.find(pred);
+  if (it == rels_.end()) {
+    int arity = catalog_ != nullptr ? catalog_->pred(pred).arity : 0;
+    it = rels_.emplace(pred, Relation(pred, arity)).first;
+  }
+  return &it->second;
+}
+
+const Relation* Database::Find(PredId pred) const {
+  auto it = rels_.find(pred);
+  return it == rels_.end() ? nullptr : &it->second;
+}
+
+void Database::Add(PredId pred, const std::vector<Value>& row) {
+  GetOrCreate(pred)->Add(row);
+}
+
+std::vector<PredId> Database::Predicates() const {
+  std::vector<PredId> out;
+  out.reserve(rels_.size());
+  for (const auto& [pred, rel] : rels_) out.push_back(pred);
+  return out;
+}
+
+uint64_t Database::TotalTuples() const {
+  uint64_t total = 0;
+  for (const auto& [pred, rel] : rels_) total += rel.size();
+  return total;
+}
+
+void Database::DedupAll() {
+  for (auto& [pred, rel] : rels_) rel.SortDedup();
+}
+
+}  // namespace aqv

@@ -1,0 +1,48 @@
+#ifndef AQV_EVAL_DATABASE_H_
+#define AQV_EVAL_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cq/catalog.h"
+#include "eval/relation.h"
+
+namespace aqv {
+
+/// \brief A database instance: one Relation per predicate, keyed by PredId.
+///
+/// Relations are created lazily with the catalog-declared arity. Missing
+/// relations read as empty.
+class Database {
+ public:
+  Database() : catalog_(nullptr) {}
+  explicit Database(const Catalog* catalog) : catalog_(catalog) {}
+
+  const Catalog* catalog() const { return catalog_; }
+
+  /// The relation for `pred`, creating it (empty) on first touch.
+  Relation* GetOrCreate(PredId pred);
+
+  /// The relation for `pred`, or nullptr if never touched.
+  const Relation* Find(PredId pred) const;
+
+  /// Appends a tuple to `pred`'s relation.
+  void Add(PredId pred, const std::vector<Value>& row);
+
+  /// Predicates with a (possibly empty) relation present.
+  std::vector<PredId> Predicates() const;
+
+  uint64_t TotalTuples() const;
+
+  /// SortDedup() on every relation.
+  void DedupAll();
+
+ private:
+  const Catalog* catalog_;
+  std::map<PredId, Relation> rels_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_EVAL_DATABASE_H_

@@ -1,0 +1,243 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "eval/value.h"
+
+namespace aqv {
+
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (Value v : key) {
+      h = (h ^ static_cast<size_t>(v)) * 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+using Index = std::unordered_map<std::vector<Value>, std::vector<size_t>,
+                                 VecHash>;
+
+bool CmpHolds(CmpOp op, Value a, Value b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return IsPlainNumeric(a) && IsPlainNumeric(b) && a < b;
+    case CmpOp::kLe:
+      return IsPlainNumeric(a) && IsPlainNumeric(b) && a <= b;
+  }
+  return false;
+}
+
+/// Greedy atom order: maximize already-bound variables, tie-break on
+/// relation size.
+std::vector<int> PlanAtomOrder(const Query& q, const Database& db) {
+  int n = static_cast<int>(q.body().size());
+  std::vector<int> order;
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(q.num_vars(), false);
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    int best_bound = -1;
+    size_t best_size = SIZE_MAX;
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const Atom& a = q.body()[i];
+      int bound_args = 0;
+      for (Term t : a.args) {
+        if (t.is_const() || bound[t.var()]) ++bound_args;
+      }
+      const Relation* rel = db.Find(a.pred);
+      size_t rel_size = rel == nullptr ? 0 : rel->size();
+      if (bound_args > best_bound ||
+          (bound_args == best_bound && rel_size < best_size)) {
+        best = i;
+        best_bound = bound_args;
+        best_size = rel_size;
+      }
+    }
+    order.push_back(best);
+    used[best] = true;
+    for (Term t : q.body()[best].args) {
+      if (t.is_var()) bound[t.var()] = true;
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<Relation> EvaluateQuery(const Query& q, const Database& db,
+                               const EvalOptions& options, EvalStats* stats) {
+  AQV_RETURN_NOT_OK(q.Validate());
+  const Catalog& cat = *q.catalog();
+  EvalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  std::vector<int> order = PlanAtomOrder(q, db);
+  int nv = q.num_vars();
+
+  // Bindings: flat rows of nv values; unbound slots are don't-care (the
+  // bound mask advances statically with the plan).
+  std::vector<Value> bindings(static_cast<size_t>(nv), 0);
+  size_t num_bindings = 1;
+  if (nv == 0) bindings.clear();
+
+  std::vector<bool> bound(nv, false);
+  std::vector<bool> cmp_applied(q.comparisons().size(), false);
+
+  auto apply_ready_comparisons = [&](std::vector<Value>* rows,
+                                     size_t* count) {
+    for (size_t ci = 0; ci < q.comparisons().size(); ++ci) {
+      if (cmp_applied[ci]) continue;
+      const Comparison& c = q.comparisons()[ci];
+      auto is_ready = [&](Term t) { return t.is_const() || bound[t.var()]; };
+      if (!is_ready(c.lhs) || !is_ready(c.rhs)) continue;
+      cmp_applied[ci] = true;
+      size_t out = 0;
+      for (size_t r = 0; r < *count; ++r) {
+        const Value* row = rows->data() + r * nv;
+        Value a = c.lhs.is_const() ? ValueOfConstant(cat, c.lhs.constant())
+                                   : row[c.lhs.var()];
+        Value b = c.rhs.is_const() ? ValueOfConstant(cat, c.rhs.constant())
+                                   : row[c.rhs.var()];
+        if (CmpHolds(c.op, a, b)) {
+          if (out != r) {
+            std::copy(row, row + nv, rows->data() + out * nv);
+          }
+          ++out;
+        }
+      }
+      *count = out;
+    }
+  };
+
+  for (int atom_index : order) {
+    const Atom& a = q.body()[atom_index];
+    const Relation* rel = db.Find(a.pred);
+
+    // Position classification under the current bound set.
+    std::vector<int> key_positions;        // arg positions probing the index
+    std::vector<VarId> key_vars;           // their variables
+    std::vector<std::pair<int, Value>> const_positions;
+    std::vector<std::pair<int, VarId>> new_positions;  // first occurrence
+    std::vector<std::pair<int, int>> dup_positions;    // (pos, earlier pos)
+    std::vector<int> first_pos_of_var(nv, -1);
+    for (int i = 0; i < a.arity(); ++i) {
+      Term t = a.args[i];
+      if (t.is_const()) {
+        const_positions.push_back({i, ValueOfConstant(cat, t.constant())});
+      } else if (bound[t.var()]) {
+        key_positions.push_back(i);
+        key_vars.push_back(t.var());
+      } else if (first_pos_of_var[t.var()] >= 0) {
+        dup_positions.push_back({i, first_pos_of_var[t.var()]});
+      } else {
+        first_pos_of_var[t.var()] = i;
+        new_positions.push_back({i, t.var()});
+      }
+    }
+
+    // Build index over the relation keyed by key_positions, filtering
+    // constants and within-atom duplicates.
+    Index index;
+    if (rel != nullptr) {
+      std::vector<Value> key(key_positions.size());
+      for (size_t r = 0; r < rel->size(); ++r) {
+        const Value* row = rel->row(r);
+        bool ok = true;
+        for (auto [pos, value] : const_positions) {
+          if (row[pos] != value) {
+            ok = false;
+            break;
+          }
+        }
+        for (auto [pos, earlier] : dup_positions) {
+          if (!ok) break;
+          if (row[pos] != row[earlier]) ok = false;
+        }
+        if (!ok) continue;
+        for (size_t k = 0; k < key_positions.size(); ++k) {
+          key[k] = row[key_positions[k]];
+        }
+        index[key].push_back(r);
+      }
+    }
+
+    // Probe: join current bindings against the index.
+    std::vector<Value> next;
+    size_t next_count = 0;
+    std::vector<Value> probe(key_positions.size());
+    for (size_t b = 0; b < num_bindings; ++b) {
+      const Value* row = bindings.data() + b * nv;
+      for (size_t k = 0; k < key_vars.size(); ++k) probe[k] = row[key_vars[k]];
+      ++stats->probes;
+      auto it = index.find(probe);
+      if (it == index.end()) continue;
+      for (size_t r : it->second) {
+        const Value* tuple = rel->row(r);
+        next.insert(next.end(), row, row + nv);
+        Value* out = next.data() + next_count * nv;
+        for (auto [pos, var] : new_positions) out[var] = tuple[pos];
+        ++next_count;
+        if (next_count + stats->intermediate_rows >
+            options.intermediate_row_cap) {
+          return Status::ResourceExhausted(
+              "join pipeline exceeded intermediate_row_cap");
+        }
+      }
+    }
+    stats->intermediate_rows += next_count;
+    bindings = std::move(next);
+    num_bindings = next_count;
+    for (auto [pos, var] : new_positions) bound[var] = true;
+
+    apply_ready_comparisons(&bindings, &num_bindings);
+    if (num_bindings == 0) break;
+  }
+
+  // Nullary-body queries keep their single empty binding; comparisons
+  // between constants may still apply.
+  if (q.body().empty()) {
+    apply_ready_comparisons(&bindings, &num_bindings);
+  }
+
+  // Project the head.
+  Relation out(q.head().pred, q.head().arity());
+  std::vector<Value> head_row(q.head().arity());
+  for (size_t b = 0; b < num_bindings; ++b) {
+    const Value* row = bindings.data() + b * nv;
+    for (int i = 0; i < q.head().arity(); ++i) {
+      Term t = q.head().args[i];
+      head_row[i] =
+          t.is_const() ? ValueOfConstant(cat, t.constant()) : row[t.var()];
+    }
+    out.Add(head_row);
+  }
+  out.SortDedup();
+  return out;
+}
+
+Result<Relation> EvaluateUnion(const UnionQuery& u, const Database& db,
+                               const EvalOptions& options, EvalStats* stats) {
+  if (u.empty()) return Status::InvalidArgument("empty union");
+  Relation out(u.disjuncts[0].head().pred, u.disjuncts[0].head().arity());
+  for (const Query& d : u.disjuncts) {
+    AQV_ASSIGN_OR_RETURN(Relation r, EvaluateQuery(d, db, options, stats));
+    if (r.arity() != out.arity()) {
+      return Status::InvalidArgument("union disjunct arity mismatch");
+    }
+    for (size_t i = 0; i < r.size(); ++i) out.AddRow(r.row(i));
+  }
+  out.SortDedup();
+  return out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,48 @@
+#ifndef AQV_EVAL_EVALUATOR_H_
+#define AQV_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+
+#include "cq/query.h"
+#include "eval/database.h"
+#include "eval/relation.h"
+#include "util/status.h"
+
+namespace aqv {
+
+/// Options for query evaluation.
+struct EvalOptions {
+  /// Cap on the number of intermediate binding rows produced across the join
+  /// pipeline (kResourceExhausted past it).
+  uint64_t intermediate_row_cap = 50'000'000;
+};
+
+/// Collected per-evaluation statistics (for F5 and diagnosis).
+struct EvalStats {
+  uint64_t intermediate_rows = 0;
+  uint64_t probes = 0;
+};
+
+/// \brief Evaluates a conjunctive query over a database.
+///
+/// Join pipeline: body atoms are ordered greedily (most already-bound
+/// variables first, then smallest relation); each step hash-joins the
+/// current binding set against the atom's relation. Constants and repeated
+/// variables filter during index construction. Comparisons apply as soon as
+/// both sides are bound; `<`/`<=` hold only between plain numeric values,
+/// `=`/`!=` compare raw values (so Skolems join by identity).
+///
+/// The result relation has the head's predicate and arity, deduplicated
+/// (set semantics).
+Result<Relation> EvaluateQuery(const Query& q, const Database& db,
+                               const EvalOptions& options = {},
+                               EvalStats* stats = nullptr);
+
+/// Evaluates a union of CQs and dedups the combined result.
+Result<Relation> EvaluateUnion(const UnionQuery& u, const Database& db,
+                               const EvalOptions& options = {},
+                               EvalStats* stats = nullptr);
+
+}  // namespace aqv
+
+#endif  // AQV_EVAL_EVALUATOR_H_

@@ -1,0 +1,17 @@
+#include "eval/materialize.h"
+
+namespace aqv {
+
+Result<Database> MaterializeViews(const ViewSet& views, const Database& base,
+                                  const EvalOptions& options) {
+  Database out(base.catalog());
+  for (const View& view : views.views()) {
+    AQV_ASSIGN_OR_RETURN(Relation extent,
+                         EvaluateQuery(view.definition, base, options));
+    Relation* dst = out.GetOrCreate(view.pred);
+    *dst = std::move(extent);
+  }
+  return out;
+}
+
+}  // namespace aqv

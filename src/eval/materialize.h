@@ -1,0 +1,20 @@
+#ifndef AQV_EVAL_MATERIALIZE_H_
+#define AQV_EVAL_MATERIALIZE_H_
+
+#include "eval/database.h"
+#include "eval/evaluator.h"
+#include "util/status.h"
+#include "views/view.h"
+
+namespace aqv {
+
+/// \brief Materializes every view over the base database: the returned
+/// database holds one relation per view predicate (the view extents) and
+/// nothing else — the only data a LAV mediator or view-answering planner
+/// gets to see.
+Result<Database> MaterializeViews(const ViewSet& views, const Database& base,
+                                  const EvalOptions& options = {});
+
+}  // namespace aqv
+
+#endif  // AQV_EVAL_MATERIALIZE_H_

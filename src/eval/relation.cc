@@ -1,0 +1,115 @@
+#include "eval/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aqv {
+
+void Relation::Add(const std::vector<Value>& row) {
+  assert(static_cast<int>(row.size()) == arity_);
+  if (arity_ == 0) {
+    nullary_present_ = true;
+    return;
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+}
+
+void Relation::AddRow(const Value* row) {
+  if (arity_ == 0) {
+    nullary_present_ = true;
+    return;
+  }
+  data_.insert(data_.end(), row, row + arity_);
+}
+
+void Relation::SortDedup() {
+  if (arity_ == 0) return;
+  size_t n = size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  auto less = [&](size_t a, size_t b) {
+    const Value* ra = row(a);
+    const Value* rb = row(b);
+    for (int c = 0; c < arity_; ++c) {
+      if (ra[c] != rb[c]) return ra[c] < rb[c];
+    }
+    return false;
+  };
+  auto equal = [&](size_t a, size_t b) {
+    const Value* ra = row(a);
+    const Value* rb = row(b);
+    for (int c = 0; c < arity_; ++c) {
+      if (ra[c] != rb[c]) return false;
+    }
+    return true;
+  };
+  std::sort(order.begin(), order.end(), less);
+  std::vector<Value> out;
+  out.reserve(data_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && equal(order[i], order[i - 1])) continue;
+    const Value* r = row(order[i]);
+    out.insert(out.end(), r, r + arity_);
+  }
+  data_ = std::move(out);
+}
+
+bool Relation::Contains(const std::vector<Value>& row_values) const {
+  if (arity_ == 0) return nullary_present_;
+  for (size_t i = 0; i < size(); ++i) {
+    const Value* r = row(i);
+    bool match = true;
+    for (int c = 0; c < arity_; ++c) {
+      if (r[c] != row_values[c]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<Value>> Relation::Rows() const {
+  std::vector<std::vector<Value>> out;
+  if (arity_ == 0) {
+    if (nullary_present_) out.push_back({});
+    return out;
+  }
+  for (size_t i = 0; i < size(); ++i) {
+    out.emplace_back(row(i), row(i) + arity_);
+  }
+  return out;
+}
+
+bool Relation::SameSet(const Relation& a, const Relation& b) {
+  if (a.arity() != b.arity()) return false;
+  Relation ca = a, cb = b;
+  ca.SortDedup();
+  cb.SortDedup();
+  if (ca.size() != cb.size()) return false;
+  if (a.arity() == 0) return true;
+  for (size_t i = 0; i < ca.size(); ++i) {
+    for (int c = 0; c < ca.arity(); ++c) {
+      if (ca.at(i, c) != cb.at(i, c)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Relation::ToString(const Catalog& catalog,
+                               const SkolemTable* skolems) const {
+  std::string out;
+  if (arity_ == 0) return nullary_present_ ? "{()}\n" : "{}\n";
+  for (size_t i = 0; i < size(); ++i) {
+    out += "(";
+    for (int c = 0; c < arity_; ++c) {
+      if (c > 0) out += ", ";
+      out += ValueToString(catalog, at(i, c), skolems);
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace aqv

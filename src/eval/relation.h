@@ -1,0 +1,65 @@
+#ifndef AQV_EVAL_RELATION_H_
+#define AQV_EVAL_RELATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cq/catalog.h"
+#include "eval/value.h"
+
+namespace aqv {
+
+/// \brief A row-major in-memory relation instance.
+///
+/// Plain storage: `arity` columns of Values, rows appended then optionally
+/// SortDedup()ed (set semantics). Indexing for joins is built by the
+/// evaluator per query, not stored here.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(PredId pred, int arity) : pred_(pred), arity_(arity) {}
+
+  PredId pred() const { return pred_; }
+  int arity() const { return arity_; }
+  size_t size() const {
+    return arity_ == 0 ? (nullary_present_ ? 1 : 0) : data_.size() / arity_;
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Appends a row. Precondition: row.size() == arity().
+  void Add(const std::vector<Value>& row);
+
+  /// Appends a row from a raw pointer of arity() values.
+  void AddRow(const Value* row);
+
+  /// Pointer to row i (undefined for arity-0 relations).
+  const Value* row(size_t i) const { return data_.data() + i * arity_; }
+
+  Value at(size_t i, int col) const { return data_[i * arity_ + col]; }
+
+  /// Sorts rows lexicographically and removes duplicates.
+  void SortDedup();
+
+  /// Membership test (linear scan; use after SortDedup only in tests).
+  bool Contains(const std::vector<Value>& row) const;
+
+  /// All rows, materialized (test convenience).
+  std::vector<std::vector<Value>> Rows() const;
+
+  /// True if both relations hold the same set of rows (sorts copies).
+  static bool SameSet(const Relation& a, const Relation& b);
+
+  std::string ToString(const Catalog& catalog,
+                       const SkolemTable* skolems = nullptr) const;
+
+ private:
+  PredId pred_ = -1;
+  int arity_ = 0;
+  bool nullary_present_ = false;  // arity-0 relations hold 0 or 1 rows
+  std::vector<Value> data_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_EVAL_RELATION_H_

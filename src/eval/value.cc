@@ -1,0 +1,46 @@
+#include "eval/value.h"
+
+namespace aqv {
+
+Value ValueOfConstant(const Catalog& catalog, ConstId id) {
+  const ConstInfo& info = catalog.constant(id);
+  if (info.numeric.has_value()) return *info.numeric;
+  return SymbolicValue(id);
+}
+
+Value SkolemTable::Intern(int fn, std::vector<Value> args) {
+  auto key = std::make_pair(fn, args);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  Value v = kSkolemBase - static_cast<Value>(entries_.size());
+  entries_.push_back(Entry{fn, std::move(args)});
+  index_.emplace(std::move(key), v);
+  return v;
+}
+
+std::string ValueToString(const Catalog& catalog, Value v,
+                          const SkolemTable* skolems) {
+  if (IsSymbolic(v)) {
+    ConstId id = static_cast<ConstId>(v - kSymbolicBase);
+    if (id >= 0 && id < catalog.num_constants()) {
+      return catalog.constant(id).name;
+    }
+    return "?sym" + std::to_string(id);
+  }
+  if (IsSkolem(v)) {
+    size_t idx = static_cast<size_t>(kSkolemBase - v);
+    if (skolems != nullptr && idx < skolems->size()) {
+      const SkolemTable::Entry& e = skolems->entry(v);
+      std::string out = "f" + std::to_string(e.fn) + "(";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ",";
+        out += ValueToString(catalog, e.args[i], skolems);
+      }
+      return out + ")";
+    }
+    return "sk" + std::to_string(idx);
+  }
+  return std::to_string(v);
+}
+
+}  // namespace aqv

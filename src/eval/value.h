@@ -1,0 +1,71 @@
+#ifndef AQV_EVAL_VALUE_H_
+#define AQV_EVAL_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cq/catalog.h"
+#include "cq/term.h"
+
+namespace aqv {
+
+/// \brief Runtime value of the evaluation engine: a tagged int64.
+///
+///   - plain numeric data values occupy the middle of the range;
+///   - symbolic constants map to kSymbolicBase + ConstId;
+///   - Skolem terms (inverse-rules engine) map to kSkolemBase - index,
+///     i.e. the extreme negative range.
+///
+/// Comparisons (<, <=) are defined on plain numerics only; the evaluator
+/// treats them as false otherwise. Equality is raw value equality.
+using Value = int64_t;
+
+inline constexpr Value kSymbolicBase = Value{1} << 60;
+inline constexpr Value kSkolemBase = -(Value{1} << 60);
+
+inline Value SymbolicValue(ConstId id) { return kSymbolicBase + id; }
+inline bool IsSymbolic(Value v) { return v >= kSymbolicBase; }
+inline bool IsSkolem(Value v) { return v <= kSkolemBase; }
+inline bool IsPlainNumeric(Value v) { return !IsSymbolic(v) && !IsSkolem(v); }
+
+/// The runtime value of a constant: its numeric value if numeric, else its
+/// tagged symbolic id.
+Value ValueOfConstant(const Catalog& catalog, ConstId id);
+
+/// \brief Interning table for ground Skolem terms f_i(v1..vk) produced by
+/// the inverse-rules engine. Each distinct application gets one Value in the
+/// Skolem range, so downstream joins treat unknown-but-equal values
+/// correctly.
+class SkolemTable {
+ public:
+  struct Entry {
+    int fn = -1;
+    std::vector<Value> args;
+  };
+
+  /// Returns the Value for f_fn(args), interning on first sight.
+  Value Intern(int fn, std::vector<Value> args);
+
+  /// Decodes a Skolem value. Precondition: IsSkolem(v).
+  const Entry& entry(Value v) const {
+    return entries_[static_cast<size_t>(kSkolemBase - v)];
+  }
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::pair<int, std::vector<Value>>, Value> index_;
+  std::vector<Entry> entries_;
+};
+
+/// Renders a value: numerics as digits, symbolics by constant name, Skolems
+/// as "f<i>(args...)" when `skolems` is provided (else "sk<idx>").
+std::string ValueToString(const Catalog& catalog, Value v,
+                          const SkolemTable* skolems = nullptr);
+
+}  // namespace aqv
+
+#endif  // AQV_EVAL_VALUE_H_

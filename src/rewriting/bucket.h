@@ -1,0 +1,68 @@
+#ifndef AQV_REWRITING_BUCKET_H_
+#define AQV_REWRITING_BUCKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "containment/containment.h"
+#include "cq/query.h"
+#include "rewriting/candidates.h"
+#include "util/status.h"
+#include "views/view.h"
+
+namespace aqv {
+
+/// Options for the Bucket algorithm.
+struct BucketOptions {
+  ContainmentOptions containment;
+
+  /// Cap on bucket combinations enumerated (the Cartesian product is the
+  /// algorithm's exponential step).
+  uint64_t max_combinations = 5'000'000;
+
+  /// Keep only rewritings whose expansion is *equivalent* to q, not merely
+  /// contained in it (the LMSS notion instead of maximal containment).
+  bool require_equivalent = false;
+
+  /// Post-process the union by dropping disjuncts subsumed by others
+  /// (quadratic in output size; off for benchmarking parity).
+  bool prune_subsumed = false;
+
+  /// When a combination fails the direct containment check, the classic
+  /// Bucket validation may still succeed after *adding join predicates*:
+  /// we enumerate homomorphisms from the combination's expansion into q and
+  /// use each to identify fresh candidate variables with q terms. This caps
+  /// how many such enrichments are tried per combination.
+  size_t max_enrichments_per_combination = 16;
+};
+
+/// Outcome of the Bucket algorithm.
+struct BucketResult {
+  /// buckets[i] holds the candidate view atoms for q's i-th subgoal.
+  std::vector<std::vector<ViewAtomCandidate>> buckets;
+  /// Contained (or equivalent, per options) conjunctive rewritings.
+  UnionQuery rewritings;
+  /// Cartesian-product combinations enumerated.
+  uint64_t combinations_enumerated = 0;
+  /// Combinations that produced a well-formed rewriting and reached the
+  /// containment check (the algorithm's dominant cost).
+  uint64_t candidates_checked = 0;
+};
+
+/// \brief The Bucket algorithm (Information Manifold lineage): for each
+/// query subgoal, collect view atoms whose definition can cover it
+/// (unifying the subgoal with a view subgoal, distinguished query variables
+/// landing on exposed view positions); then test every one-per-bucket
+/// combination with an expansion containment check, keeping those contained
+/// in q.
+///
+/// The union of kept rewritings is the maximally-contained rewriting of q
+/// using `views` (comparison-free case). Comparisons on q are carried into
+/// each candidate and handled by the comparison-aware containment test —
+/// sound, with the linearization-cap caveat.
+Result<BucketResult> BucketRewrite(const Query& q, const ViewSet& views,
+                                   const BucketOptions& options = {});
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITING_BUCKET_H_

@@ -1,0 +1,194 @@
+#include "rewriting/hardness.h"
+
+#include <string>
+
+namespace aqv {
+
+namespace {
+
+/// Node layout of the 3-SAT -> 3-coloring graph:
+///   0,1,2            palette triangle (True, False, Base)
+///   3 + 2i, 4 + 2i   literal nodes x_{i+1}, ¬x_{i+1}
+///   then 6 nodes per clause (two chained OR gadgets).
+constexpr int kTrue = 0;
+constexpr int kFalse = 1;
+constexpr int kBase = 2;
+
+int PosNode(int var) { return 3 + 2 * (var - 1); }
+int NegNode(int var) { return 4 + 2 * (var - 1); }
+
+int LitNode(int lit) { return lit > 0 ? PosNode(lit) : NegNode(-lit); }
+
+}  // namespace
+
+Graph ThreeSatToThreeColoring(const Formula3Sat& f) {
+  Graph g;
+  g.num_nodes = 3 + 2 * f.num_vars + 6 * static_cast<int>(f.clauses.size());
+  auto edge = [&](int a, int b) { g.edges.push_back({a, b}); };
+
+  // Palette triangle.
+  edge(kTrue, kFalse);
+  edge(kTrue, kBase);
+  edge(kFalse, kBase);
+
+  // Literal gadgets: x, ¬x, Base form a triangle, so literals take colors
+  // {True, False} and complementary literals take opposite ones.
+  for (int v = 1; v <= f.num_vars; ++v) {
+    edge(PosNode(v), NegNode(v));
+    edge(PosNode(v), kBase);
+    edge(NegNode(v), kBase);
+  }
+
+  // OR gadget (a, b) -> z using fresh nodes x, y, z:
+  //   x–a, y–b, x–y, x–z, y–z.
+  // z can be colored True iff a or b is True (given a, b in {True, False}).
+  int next = 3 + 2 * f.num_vars;
+  auto or_gadget = [&](int a, int b) {
+    int x = next++, y = next++, z = next++;
+    edge(x, a);
+    edge(y, b);
+    edge(x, y);
+    edge(x, z);
+    edge(y, z);
+    return z;
+  };
+  for (const Clause3& c : f.clauses) {
+    int z1 = or_gadget(LitNode(c.lits[0]), LitNode(c.lits[1]));
+    int z2 = or_gadget(z1, LitNode(c.lits[2]));
+    // Force the clause output to color True.
+    edge(z2, kFalse);
+    edge(z2, kBase);
+  }
+  return g;
+}
+
+Result<HardnessInstance> GraphToRewritingInstance(const Graph& g) {
+  HardnessInstance inst;
+  inst.catalog = std::make_unique<Catalog>();
+  Catalog* cat = inst.catalog.get();
+  AQV_ASSIGN_OR_RETURN(PredId edge_pred,
+                       cat->GetOrAddPredicate("edge", 2));
+  AQV_ASSIGN_OR_RETURN(
+      PredId q_pred,
+      cat->GetOrAddPredicate("q", 0, PredKind::kIntensional));
+  AQV_ASSIGN_OR_RETURN(
+      PredId v_pred,
+      cat->GetOrAddPredicate("v", 0, PredKind::kIntensional));
+
+  // q() :- all six directed edges of K3.
+  Query q(cat);
+  VarId a = q.AddVariable("A"), b = q.AddVariable("B"), c = q.AddVariable("C");
+  q.set_head(Atom(q_pred, {}));
+  auto k3 = [&](Query* dst, VarId x, VarId y, VarId z) {
+    VarId tri[3] = {x, y, z};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        if (i == j) continue;
+        dst->AddBodyAtom(
+            Atom(edge_pred, {Term::Var(tri[i]), Term::Var(tri[j])}));
+      }
+    }
+  };
+  k3(&q, a, b, c);
+  AQV_RETURN_NOT_OK(q.Validate());
+  inst.query = std::move(q);
+
+  // v() :- K3 ∪ G (both directions per graph edge).
+  Query v(cat);
+  VarId va = v.AddVariable("A"), vb = v.AddVariable("B"),
+        vc = v.AddVariable("C");
+  v.set_head(Atom(v_pred, {}));
+  k3(&v, va, vb, vc);
+  std::vector<VarId> node_var(g.num_nodes, -1);
+  for (int i = 0; i < g.num_nodes; ++i) {
+    node_var[i] = v.AddVariable("N" + std::to_string(i));
+  }
+  for (auto [s, t] : g.edges) {
+    v.AddBodyAtom(
+        Atom(edge_pred, {Term::Var(node_var[s]), Term::Var(node_var[t])}));
+    v.AddBodyAtom(
+        Atom(edge_pred, {Term::Var(node_var[t]), Term::Var(node_var[s])}));
+  }
+  AQV_RETURN_NOT_OK(v.Validate());
+  AQV_RETURN_NOT_OK(inst.views.Add(std::move(v)));
+  return inst;
+}
+
+Result<HardnessInstance> FormulaToRewritingInstance(const Formula3Sat& f) {
+  return GraphToRewritingInstance(ThreeSatToThreeColoring(f));
+}
+
+Result<bool> BruteForceSat(const Formula3Sat& f) {
+  if (f.num_vars > 24) {
+    return Status::InvalidArgument("BruteForceSat limited to 24 variables");
+  }
+  for (uint64_t assign = 0; assign < (uint64_t{1} << f.num_vars); ++assign) {
+    bool all = true;
+    for (const Clause3& c : f.clauses) {
+      bool clause = false;
+      for (int lit : c.lits) {
+        int var = lit > 0 ? lit : -lit;
+        bool value = (assign >> (var - 1)) & 1;
+        if ((lit > 0) == value) {
+          clause = true;
+          break;
+        }
+      }
+      if (!clause) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+Result<bool> BruteForceThreeColorable(const Graph& g) {
+  if (g.num_nodes > 20) {
+    return Status::InvalidArgument(
+        "BruteForceThreeColorable limited to 20 nodes");
+  }
+  std::vector<int> color(g.num_nodes, 0);
+  // Odometer over 3^n colorings with early clause checks would be nicer;
+  // instances here are tiny, so plain enumeration with pruning suffices.
+  uint64_t total = 1;
+  for (int i = 0; i < g.num_nodes; ++i) total *= 3;
+  for (uint64_t code = 0; code < total; ++code) {
+    uint64_t c = code;
+    for (int i = 0; i < g.num_nodes; ++i) {
+      color[i] = static_cast<int>(c % 3);
+      c /= 3;
+    }
+    bool proper = true;
+    for (auto [s, t] : g.edges) {
+      if (color[s] == color[t]) {
+        proper = false;
+        break;
+      }
+    }
+    if (proper) return true;
+  }
+  return false;
+}
+
+Formula3Sat RandomFormula(Rng* rng, int num_vars, int num_clauses) {
+  Formula3Sat f;
+  f.num_vars = num_vars;
+  for (int i = 0; i < num_clauses; ++i) {
+    Clause3 c;
+    int vars[3] = {-1, -1, -1};
+    for (int j = 0; j < 3; ++j) {
+      int v;
+      do {
+        v = static_cast<int>(rng->NextBounded(num_vars)) + 1;
+      } while (v == vars[0] || v == vars[1]);
+      vars[j] = v;
+      c.lits[j] = rng->NextBool(0.5) ? v : -v;
+    }
+    f.clauses.push_back(c);
+  }
+  return f;
+}
+
+}  // namespace aqv

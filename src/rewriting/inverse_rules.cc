@@ -1,0 +1,82 @@
+#include "rewriting/inverse_rules.h"
+
+#include <map>
+
+namespace aqv {
+
+std::string InverseRule::ToString(const Catalog& catalog) const {
+  auto term_str = [&](Term t) -> std::string {
+    if (t.is_const()) return catalog.constant(t.constant()).name;
+    VarId v = t.var();
+    if (v >= 0 && v < static_cast<VarId>(var_names.size())) {
+      return var_names[v];
+    }
+    return "V" + std::to_string(v);
+  };
+  std::string out = catalog.pred(head_pred).name + "(";
+  for (size_t i = 0; i < head_args.size(); ++i) {
+    if (i > 0) out += ", ";
+    const InverseArg& a = head_args[i];
+    if (a.is_skolem()) {
+      out += "f" + std::to_string(a.skolem_fn) + "(";
+      for (size_t j = 0; j < skolem_params.size(); ++j) {
+        if (j > 0) out += ", ";
+        out += term_str(Term::Var(skolem_params[j]));
+      }
+      out += ")";
+    } else {
+      out += term_str(a.term);
+    }
+  }
+  out += ") :- " + view_atom.ToString(catalog, var_names) + ".";
+  return out;
+}
+
+std::string InverseRuleSet::ToString(const Catalog& catalog) const {
+  std::string out;
+  for (const InverseRule& r : rules) {
+    out += r.ToString(catalog);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<InverseRuleSet> BuildInverseRules(const ViewSet& views) {
+  InverseRuleSet out;
+  for (const View& view : views.views()) {
+    const Query& def = view.definition;
+    AQV_RETURN_NOT_OK(def.Validate());
+    std::vector<VarId> params = def.HeadVars();
+    std::vector<bool> distinguished = def.DistinguishedMask();
+
+    // One Skolem function per existential variable of the view.
+    std::map<VarId, int> skolem_of_var;
+    for (VarId v = 0; v < def.num_vars(); ++v) {
+      if (distinguished[v]) continue;
+      skolem_of_var[v] = static_cast<int>(out.functions.size());
+      out.functions.push_back(SkolemFunction{
+          view.pred, def.var_name(v), static_cast<int>(params.size())});
+    }
+
+    for (const Atom& body_atom : def.body()) {
+      InverseRule rule;
+      rule.view_atom = def.head();
+      rule.head_pred = body_atom.pred;
+      rule.skolem_params = params;
+      rule.var_names = def.var_names();
+      for (Term t : body_atom.args) {
+        InverseArg arg;
+        if (t.is_var() && !distinguished[t.var()]) {
+          arg.skolem_fn = skolem_of_var.at(t.var());
+        } else {
+          arg.term = t;
+        }
+        rule.head_args.push_back(arg);
+      }
+      out.rules.push_back(std::move(rule));
+    }
+  }
+  return out;
+}
+
+}  // namespace aqv

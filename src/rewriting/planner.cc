@@ -1,0 +1,72 @@
+#include "rewriting/planner.h"
+
+#include <algorithm>
+
+namespace aqv {
+
+ExtentStats ExtentStats::FromDatabase(const Database& db) {
+  ExtentStats stats;
+  for (PredId p : db.Predicates()) {
+    stats.cardinality[p] = db.Find(p)->size();
+  }
+  return stats;
+}
+
+double EstimatePlanCost(const Query& q, const ExtentStats& stats) {
+  std::vector<double> cards;
+  cards.reserve(q.body().size());
+  for (const Atom& a : q.body()) {
+    cards.push_back(static_cast<double>(std::max<uint64_t>(
+        1, stats.Card(a.pred))));
+  }
+  std::sort(cards.begin(), cards.end());
+  double cost = 0;
+  double running = 1;
+  for (double c : cards) {
+    running *= c;
+    cost += running;
+  }
+  return cost;
+}
+
+Result<PlannerResult> ChooseBestPlan(const Query& q, const ViewSet& views,
+                                     const ExtentStats& view_stats,
+                                     const ExtentStats& base_stats,
+                                     const PlannerOptions& options) {
+  PlannerResult result;
+
+  LmssOptions lmss = options.lmss;
+  lmss.max_rewritings = options.max_plans;
+  AQV_ASSIGN_OR_RETURN(LmssResult rewritings,
+                       FindEquivalentRewritings(q, views, lmss));
+  for (Query& rw : rewritings.rewritings) {
+    PlanChoice plan;
+    plan.complete = UsesOnlyViews(rw, views);
+    // Partial rewritings read views and base relations; merge the stats
+    // with view extents taking precedence.
+    ExtentStats merged = base_stats;
+    for (const auto& [pred, card] : view_stats.cardinality) {
+      merged.cardinality[pred] = card;
+    }
+    plan.estimated_cost = EstimatePlanCost(rw, merged);
+    plan.rewriting = std::move(rw);
+    result.plans.push_back(std::move(plan));
+  }
+  if (options.include_direct_plan) {
+    PlanChoice direct;
+    direct.rewriting = rewritings.minimized_query;
+    direct.complete = false;
+    direct.estimated_cost = EstimatePlanCost(direct.rewriting, base_stats);
+    result.plans.push_back(std::move(direct));
+  }
+  for (int i = 0; i < static_cast<int>(result.plans.size()); ++i) {
+    if (result.best < 0 ||
+        result.plans[i].estimated_cost <
+            result.plans[result.best].estimated_cost) {
+      result.best = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace aqv

@@ -1,0 +1,76 @@
+#ifndef AQV_REWRITING_PLANNER_H_
+#define AQV_REWRITING_PLANNER_H_
+
+#include <map>
+#include <vector>
+
+#include "cq/query.h"
+#include "eval/database.h"
+#include "rewriting/lmss.h"
+#include "util/status.h"
+#include "views/view.h"
+
+namespace aqv {
+
+/// \brief Per-relation cardinalities the planner costs plans against.
+struct ExtentStats {
+  std::map<PredId, uint64_t> cardinality;
+
+  /// Cardinality of `pred` (0 when unknown/absent).
+  uint64_t Card(PredId pred) const {
+    auto it = cardinality.find(pred);
+    return it == cardinality.end() ? 0 : it->second;
+  }
+
+  /// Snapshot of the relation sizes of `db`.
+  static ExtentStats FromDatabase(const Database& db);
+};
+
+/// \brief Estimated execution cost of a CQ under a left-deep nested-loop
+/// model with no selectivity information: atoms are ordered ascending by
+/// cardinality and the cost is the sum of prefix products (the classic
+/// textbook upper bound). Deliberately simple — it ranks "pre-joined view"
+/// against "re-join the base tables" robustly, which is all the
+/// view-selection decision needs.
+double EstimatePlanCost(const Query& q, const ExtentStats& stats);
+
+/// One plan the planner considered.
+struct PlanChoice {
+  Query rewriting;
+  double estimated_cost = 0;
+  /// True when every body atom is a view predicate.
+  bool complete = false;
+};
+
+/// Options for plan selection.
+struct PlannerOptions {
+  LmssOptions lmss;
+  /// Cap on the number of equivalent rewritings enumerated and costed.
+  int max_plans = 64;
+  /// Also consider answering directly over base relations (the "no views"
+  /// plan). Requires base stats to be meaningful.
+  bool include_direct_plan = true;
+};
+
+/// Outcome of plan selection.
+struct PlannerResult {
+  /// Every plan considered, in enumeration order. Non-empty iff some plan
+  /// exists (the direct plan counts when enabled).
+  std::vector<PlanChoice> plans;
+  /// Index of the cheapest plan in `plans`, or -1 when none.
+  int best = -1;
+};
+
+/// \brief The LMSS optimization loop in one call: enumerate equivalent
+/// rewritings of `q` over `views`, cost each against the view-extent
+/// statistics, optionally cost the direct plan against base statistics, and
+/// pick the cheapest. The chosen rewriting evaluates over the extents
+/// database; the direct plan evaluates over the base database.
+Result<PlannerResult> ChooseBestPlan(const Query& q, const ViewSet& views,
+                                     const ExtentStats& view_stats,
+                                     const ExtentStats& base_stats,
+                                     const PlannerOptions& options = {});
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITING_PLANNER_H_

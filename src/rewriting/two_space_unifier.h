@@ -1,0 +1,113 @@
+#ifndef AQV_REWRITING_TWO_SPACE_UNIFIER_H_
+#define AQV_REWRITING_TWO_SPACE_UNIFIER_H_
+
+#include <optional>
+#include <vector>
+
+#include "cq/atom.h"
+#include "cq/term.h"
+
+namespace aqv {
+
+/// \brief Union-find unifier over two variable spaces — a query's and a
+/// view's — with constant pinning. The shared mechanics of Bucket entry
+/// creation and MiniCon MCD closure.
+///
+/// Nodes 0..nq-1 are query variables, nq..nq+nv-1 are view variables. Each
+/// equivalence class may be pinned to at most one constant; pinning two
+/// different constants fails the unification. Copyable: MCD closure
+/// branches by copying the unifier state.
+class TwoSpaceUnifier {
+ public:
+  TwoSpaceUnifier(int num_q_vars, int num_v_vars)
+      : nq_(num_q_vars),
+        parent_(num_q_vars + num_v_vars),
+        pinned_(num_q_vars + num_v_vars) {
+    for (int i = 0; i < static_cast<int>(parent_.size()); ++i) parent_[i] = i;
+  }
+
+  int NodeOfQVar(VarId v) const { return v; }
+  int NodeOfVVar(VarId v) const { return nq_ + v; }
+
+  int Find(int x) const {
+    while (parent_[x] != x) x = parent_[x];
+    return x;
+  }
+
+  /// Unifies a query-side term with a view-side term. Returns false on a
+  /// constant clash.
+  bool UnifyPair(Term q_term, Term v_term) {
+    if (q_term.is_const() && v_term.is_const()) return q_term == v_term;
+    if (q_term.is_const()) return Pin(NodeOfVVar(v_term.var()), q_term);
+    if (v_term.is_const()) return Pin(NodeOfQVar(q_term.var()), v_term);
+    return Union(NodeOfQVar(q_term.var()), NodeOfVVar(v_term.var()));
+  }
+
+  /// Positionwise unification of a query atom with a view atom (same
+  /// predicate and arity assumed checked by the caller).
+  bool UnifyAtoms(const Atom& q_atom, const Atom& v_atom) {
+    for (int i = 0; i < q_atom.arity(); ++i) {
+      if (!UnifyPair(q_atom.args[i], v_atom.args[i])) return false;
+    }
+    return true;
+  }
+
+  /// The constant pinned to x's class, if any.
+  std::optional<Term> PinnedConst(int x) const { return pinned_[Find(x)]; }
+
+  /// All nodes in x's class (linear scan; classes here are tiny).
+  std::vector<int> ClassMembers(int x) const {
+    std::vector<int> out;
+    int rep = Find(x);
+    for (int i = 0; i < static_cast<int>(parent_.size()); ++i) {
+      if (Find(i) == rep) out.push_back(i);
+    }
+    return out;
+  }
+
+  /// Query variables in x's class, ascending.
+  std::vector<VarId> QVarsInClass(int x) const {
+    std::vector<VarId> out;
+    for (int m : ClassMembers(x)) {
+      if (m < nq_) out.push_back(m);
+    }
+    return out;
+  }
+
+  /// True if x's class contains view variable `v`.
+  bool ClassContainsVVar(int x, VarId v) const {
+    return Find(x) == Find(NodeOfVVar(v));
+  }
+
+  int num_nodes() const { return static_cast<int>(parent_.size()); }
+  int num_q_vars() const { return nq_; }
+
+ private:
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return true;
+    if (pinned_[a].has_value() && pinned_[b].has_value() &&
+        !(*pinned_[a] == *pinned_[b])) {
+      return false;
+    }
+    parent_[a] = b;
+    if (!pinned_[b].has_value()) pinned_[b] = pinned_[a];
+    return true;
+  }
+
+  bool Pin(int x, Term c) {
+    x = Find(x);
+    if (pinned_[x].has_value()) return *pinned_[x] == c;
+    pinned_[x] = c;
+    return true;
+  }
+
+  int nq_;
+  std::vector<int> parent_;
+  std::vector<std::optional<Term>> pinned_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITING_TWO_SPACE_UNIFIER_H_

@@ -1,0 +1,50 @@
+#include "rewriting/ucq_rewriting.h"
+
+#include <unordered_set>
+
+#include "containment/minimize.h"
+
+namespace aqv {
+
+Result<UcqRewritingResult> FindEquivalentUnionRewriting(
+    const UnionQuery& q, const ViewSet& views, const LmssOptions& options) {
+  if (q.empty()) {
+    return Status::InvalidArgument("empty union query");
+  }
+  UcqRewritingResult result;
+  AQV_ASSIGN_OR_RETURN(result.minimized, MinimizeUnion(q, options.containment));
+
+  result.exists = true;
+  for (const Query& disjunct : result.minimized.disjuncts) {
+    LmssOptions per = options;
+    per.max_rewritings = 1;
+    AQV_ASSIGN_OR_RETURN(LmssResult r,
+                         FindEquivalentRewritings(disjunct, views, per));
+    if (!r.exists) {
+      result.exists = false;
+      result.rewritings.disjuncts.clear();
+      return result;
+    }
+    result.rewritings.disjuncts.push_back(std::move(r.rewritings[0]));
+  }
+  return result;
+}
+
+Result<UnionQuery> MaximallyContainedUnionRewriting(
+    const UnionQuery& q, const ViewSet& views, const MiniConOptions& options) {
+  UnionQuery out;
+  std::unordered_set<std::string> seen;
+  for (const Query& disjunct : q.disjuncts) {
+    AQV_ASSIGN_OR_RETURN(MiniConResult r,
+                         MiniConRewrite(disjunct, views, options));
+    for (Query& rw : r.rewritings.disjuncts) {
+      std::string key = rw.CanonicalKey();
+      if (seen.insert(std::move(key)).second) {
+        out.disjuncts.push_back(std::move(rw));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,48 @@
+#ifndef AQV_REWRITING_UCQ_REWRITING_H_
+#define AQV_REWRITING_UCQ_REWRITING_H_
+
+#include "containment/containment.h"
+#include "cq/query.h"
+#include "rewriting/lmss.h"
+#include "rewriting/minicon.h"
+#include "util/status.h"
+#include "views/view.h"
+
+namespace aqv {
+
+/// Outcome of rewriting a union of CQs.
+struct UcqRewritingResult {
+  /// True iff the (minimized) union has an equivalent rewriting.
+  bool exists = false;
+  /// One equivalent rewriting per disjunct of the minimized union (valid
+  /// when `exists`): their union, expanded, is equivalent to the input.
+  UnionQuery rewritings;
+  /// The minimized input union the per-disjunct results refer to.
+  UnionQuery minimized;
+};
+
+/// \brief Equivalent rewriting of a *union* of conjunctive queries.
+///
+/// Uses the disjunct-wise reduction: after minimizing the union (each
+/// disjunct a core, no disjunct contained in another), an equivalent
+/// rewriting of the union exists iff every surviving disjunct has an
+/// equivalent rewriting on its own. (⇐ is immediate; ⇒ follows from
+/// Sagiv-Yannakakis containment: an equivalent rewriting union must
+/// contain, for each disjunct Qi, an expansion disjunct e with
+/// Qi ⊑ e ⊑ Qj for some j; minimality forces i = j and e ≡ Qi.)
+///
+/// Comparison-free inputs only for the completeness claim; the per-disjunct
+/// LMSS caveats apply otherwise.
+Result<UcqRewritingResult> FindEquivalentUnionRewriting(
+    const UnionQuery& q, const ViewSet& views, const LmssOptions& options = {});
+
+/// \brief Maximally-contained rewriting of a union of CQs: the union of the
+/// per-disjunct MiniCon unions (sound and complete disjunct-wise for
+/// comparison-free inputs).
+Result<UnionQuery> MaximallyContainedUnionRewriting(
+    const UnionQuery& q, const ViewSet& views,
+    const MiniConOptions& options = {});
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITING_UCQ_REWRITING_H_

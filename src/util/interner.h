@@ -1,0 +1,36 @@
+#ifndef AQV_UTIL_INTERNER_H_
+#define AQV_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace aqv {
+
+/// \brief Bidirectional string <-> dense-id table.
+///
+/// Ids are assigned in insertion order starting at 0, so they can index flat
+/// vectors. Not thread-safe; each Catalog owns its interners.
+class Interner {
+ public:
+  /// Returns the id for `name`, interning it if new.
+  int32_t Intern(std::string_view name);
+
+  /// Returns the id for `name`, or -1 if it has never been interned.
+  int32_t Lookup(std::string_view name) const;
+
+  /// Returns the string for `id`. Precondition: 0 <= id < size().
+  const std::string& NameOf(int32_t id) const { return names_[id]; }
+
+  int32_t size() const { return static_cast<int32_t>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, int32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_UTIL_INTERNER_H_

@@ -1,0 +1,88 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace aqv {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's multiply-shift bounded generation with rejection.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  if (s <= 0.0) return NextBounded(n);
+  // Inverse-CDF over the (truncated) harmonic weights. O(1) per draw via the
+  // standard approximation; exact enough for skewed workload generation.
+  double u = NextDouble();
+  if (s == 1.0) {
+    double hn = std::log(static_cast<double>(n)) + 0.5772156649;
+    double target = u * hn;
+    double k = std::exp(target) - 0.5772156649;
+    uint64_t v = static_cast<uint64_t>(k);
+    return v >= n ? n - 1 : v;
+  }
+  double a = 1.0 - s;
+  double hn = (std::pow(static_cast<double>(n), a) - 1.0) / a;
+  double k = std::pow(u * hn * a + 1.0, 1.0 / a) - 1.0;
+  uint64_t v = static_cast<uint64_t>(k);
+  return v >= n ? n - 1 : v;
+}
+
+}  // namespace aqv

@@ -1,0 +1,134 @@
+#ifndef AQV_UTIL_STATUS_H_
+#define AQV_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace aqv {
+
+/// Error categories used across the library. Modeled after the Status idiom
+/// common in database engines (RocksDB, Arrow): no exceptions cross API
+/// boundaries; fallible operations return Status or Result<T>.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Input text failed to parse.
+  kParseError = 1,
+  /// A query/view/database violates a structural requirement (arity mismatch,
+  /// unsafe head variable, unknown predicate, ...).
+  kInvalidArgument = 2,
+  /// A configured resource cap was exceeded (search node budget, comparison
+  /// linearization cap, ...). The operation is well-defined but too large.
+  kResourceExhausted = 3,
+  /// Internal invariant violation; indicates a bug in the library.
+  kInternal = 4,
+  /// The requested item does not exist (catalog lookups etc.).
+  kNotFound = 5,
+};
+
+/// \brief Lightweight success-or-error carrier.
+///
+/// An engineered subset of the Arrow/RocksDB Status class: a code plus a
+/// human-readable message. Ok statuses carry no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Value-or-Status carrier, the fallible-function return type.
+///
+/// Usage:
+///   Result<Query> r = ParseQuery(text, &catalog);
+///   if (!r.ok()) return r.status();
+///   Query q = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status from an expression (statement form).
+#define AQV_RETURN_NOT_OK(expr)             \
+  do {                                      \
+    ::aqv::Status _st = (expr);             \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define AQV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+#define AQV_ASSIGN_OR_RETURN(lhs, expr) \
+  AQV_ASSIGN_OR_RETURN_IMPL(AQV_CONCAT_(_aqv_res_, __LINE__), lhs, expr)
+
+#define AQV_CONCAT_(a, b) AQV_CONCAT_IMPL_(a, b)
+#define AQV_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace aqv
+
+#endif  // AQV_UTIL_STATUS_H_

@@ -1,0 +1,105 @@
+#include "views/expansion.h"
+
+#include <string>
+
+#include "containment/comparison_containment.h"
+#include "containment/minimize.h"
+#include "cq/substitution.h"
+
+namespace aqv {
+
+Result<ExpansionResult> ExpandRewriting(const Query& rewriting,
+                                        const ViewSet& views) {
+  Query out(rewriting.catalog());
+  for (int v = 0; v < rewriting.num_vars(); ++v) {
+    out.AddVariable(rewriting.var_name(v));
+  }
+  out.set_head(rewriting.head());
+  for (const Comparison& c : rewriting.comparisons()) out.AddComparison(c);
+
+  // Equalities induced by repeated head variables / head constants are
+  // staged as Eq comparisons and solved once at the end.
+  int occurrence = 0;
+  for (const Atom& a : rewriting.body()) {
+    const View* view = views.FindByPred(a.pred);
+    if (view == nullptr) {
+      out.AddBodyAtom(a);
+      continue;
+    }
+    const Query& def = view->definition;
+    if (def.head().arity() != a.arity()) {
+      return Status::InvalidArgument("view atom arity mismatch for '" +
+                                     view->name() + "'");
+    }
+    VarImporter imp(def, &out, "x" + std::to_string(occurrence++) + "_");
+    for (int i = 0; i < a.arity(); ++i) {
+      Term h = def.head().args[i];
+      Term t = a.args[i];
+      if (h.is_var() && !imp.HasMapping(h.var())) {
+        imp.Preset(h.var(), t);
+      } else {
+        Term m = imp.Map(h);
+        if (m == t) continue;
+        out.AddComparison(Comparison(CmpOp::kEq, m, t));
+      }
+    }
+    for (const Atom& b : def.body()) out.AddBodyAtom(imp.ImportAtom(b));
+    for (const Comparison& c : def.comparisons()) {
+      out.AddComparison(imp.ImportComparison(c));
+    }
+  }
+
+  ExpansionResult result;
+  bool unsat = false;
+  Query normalized = NormalizeEqualities(out, &unsat);
+  if (unsat) {
+    result.satisfiable = false;
+    return result;
+  }
+  result.query = CompactVariables(normalized);
+  return result;
+}
+
+Result<UnionQuery> ExpandUnion(const UnionQuery& rewritings,
+                               const ViewSet& views) {
+  UnionQuery out;
+  for (const Query& r : rewritings.disjuncts) {
+    AQV_ASSIGN_OR_RETURN(ExpansionResult e, ExpandRewriting(r, views));
+    if (e.satisfiable) out.disjuncts.push_back(std::move(e.query));
+  }
+  return out;
+}
+
+Result<Query> MinimizeRewriting(const Query& rewriting, const ViewSet& views,
+                                const ContainmentOptions& options) {
+  AQV_ASSIGN_OR_RETURN(ExpansionResult original,
+                       ExpandRewriting(rewriting, views));
+  if (!original.satisfiable) {
+    return Status::InvalidArgument(
+        "cannot minimize an unsatisfiable rewriting");
+  }
+  Query current = rewriting;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < static_cast<int>(current.body().size()); ++i) {
+      if (current.body().size() == 1) break;
+      Query candidate = current;
+      candidate.RemoveBodyAtom(i);
+      if (!candidate.Validate().ok()) continue;  // head var lost its binding
+      AQV_ASSIGN_OR_RETURN(ExpansionResult e,
+                           ExpandRewriting(candidate, views));
+      if (!e.satisfiable) continue;
+      // Dropping an atom only widens; equivalence needs the narrow check.
+      AQV_ASSIGN_OR_RETURN(bool narrow,
+                           IsContainedIn(e.query, original.query, options));
+      if (!narrow) continue;
+      current = std::move(candidate);
+      changed = true;
+      break;
+    }
+  }
+  return CompactVariables(current);
+}
+
+}  // namespace aqv

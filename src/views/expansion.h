@@ -1,0 +1,47 @@
+#ifndef AQV_VIEWS_EXPANSION_H_
+#define AQV_VIEWS_EXPANSION_H_
+
+#include "containment/containment.h"
+#include "cq/query.h"
+#include "util/status.h"
+#include "views/view.h"
+
+namespace aqv {
+
+/// Outcome of unfolding a rewriting over its view definitions.
+struct ExpansionResult {
+  /// False when head-argument unification hit a constant clash (e.g. the
+  /// rewriting calls v(1,2) but v's head is v(X,X)); such a candidate
+  /// denotes the empty query.
+  bool satisfiable = true;
+  /// The expansion (valid only when satisfiable). Variable space compacted.
+  Query query;
+};
+
+/// \brief Unfolds every view atom of `rewriting` with its definition from
+/// `views`: head variables of the view bind to the atom's arguments,
+/// existential variables are freshened per occurrence, and repeated head
+/// variables / head constants induce unifications applied to the whole
+/// result. Non-view atoms pass through (partial rewritings).
+///
+/// The expansion is the query LMSS compares against Q: `rewriting` is an
+/// equivalent rewriting of Q iff Expand(rewriting) ≡ Q.
+Result<ExpansionResult> ExpandRewriting(const Query& rewriting,
+                                        const ViewSet& views);
+
+/// Expands every disjunct; unsatisfiable disjuncts are dropped.
+Result<UnionQuery> ExpandUnion(const UnionQuery& rewritings,
+                               const ViewSet& views);
+
+/// \brief Minimizes a rewriting at the *view-atom* level: drops body atoms
+/// (view or base) as long as the expansion stays equivalent to the original
+/// expansion. The result evaluates fewer view extents for the same answers
+/// — the rewriting-level analogue of Chandra-Merlin minimization, which
+/// operates below the view abstraction and cannot remove a redundant view
+/// atom whose expansion overlaps another's.
+Result<Query> MinimizeRewriting(const Query& rewriting, const ViewSet& views,
+                                const ContainmentOptions& options = {});
+
+}  // namespace aqv
+
+#endif  // AQV_VIEWS_EXPANSION_H_

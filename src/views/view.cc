@@ -1,0 +1,56 @@
+#include "views/view.h"
+
+#include "cq/parser.h"
+
+namespace aqv {
+
+Status ViewSet::Add(Query definition) {
+  AQV_RETURN_NOT_OK(definition.Validate());
+  PredId pred = definition.head().pred;
+  if (FindByPred(pred) != nullptr) {
+    return Status::InvalidArgument(
+        "duplicate view definition for '" +
+        definition.catalog()->pred(pred).name + "'");
+  }
+  for (const Atom& a : definition.body()) {
+    if (a.pred == pred) {
+      return Status::InvalidArgument("view '" +
+                                     definition.catalog()->pred(pred).name +
+                                     "' refers to itself");
+    }
+  }
+  views_.push_back(View{pred, std::move(definition)});
+  return Status::OK();
+}
+
+Result<ViewSet> ViewSet::Parse(std::string_view text, Catalog* catalog) {
+  AQV_ASSIGN_OR_RETURN(std::vector<Query> rules, ParseProgram(text, catalog));
+  ViewSet out;
+  for (Query& rule : rules) {
+    AQV_RETURN_NOT_OK(out.Add(std::move(rule)));
+  }
+  return out;
+}
+
+const View* ViewSet::FindByPred(PredId pred) const {
+  for (const View& v : views_) {
+    if (v.pred == pred) return &v;
+  }
+  return nullptr;
+}
+
+const View* ViewSet::FindByName(std::string_view name) const {
+  for (const View& v : views_) {
+    if (v.name() == name) return &v;
+  }
+  return nullptr;
+}
+
+bool UsesOnlyViews(const Query& q, const ViewSet& views) {
+  for (const Atom& a : q.body()) {
+    if (views.FindByPred(a.pred) == nullptr) return false;
+  }
+  return true;
+}
+
+}  // namespace aqv

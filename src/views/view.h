@@ -1,0 +1,59 @@
+#ifndef AQV_VIEWS_VIEW_H_
+#define AQV_VIEWS_VIEW_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cq/catalog.h"
+#include "cq/query.h"
+#include "util/status.h"
+
+namespace aqv {
+
+/// \brief A named materialized view: a conjunctive query whose head
+/// predicate is the view's name.
+struct View {
+  /// Head predicate id (intensional in the catalog).
+  PredId pred = -1;
+  /// The defining CQ; head().pred == pred.
+  Query definition;
+
+  const std::string& name() const {
+    return definition.catalog()->pred(pred).name;
+  }
+};
+
+/// \brief The set of views available to a rewriting problem, indexed by head
+/// predicate.
+class ViewSet {
+ public:
+  /// Adds a view from its defining query. Fails if a view with the same head
+  /// predicate already exists or the definition is invalid.
+  Status Add(Query definition);
+
+  /// Parses a program of view definitions, one rule per view.
+  static Result<ViewSet> Parse(std::string_view text, Catalog* catalog);
+
+  /// The view with head predicate `pred`, or nullptr.
+  const View* FindByPred(PredId pred) const;
+
+  /// The view named `name`, or nullptr.
+  const View* FindByName(std::string_view name) const;
+
+  const std::vector<View>& views() const { return views_; }
+  int size() const { return static_cast<int>(views_.size()); }
+  bool empty() const { return views_.empty(); }
+  const View& view(int i) const { return views_[i]; }
+
+ private:
+  std::vector<View> views_;
+};
+
+/// True iff every body atom of `q` is a view predicate of `views`
+/// (a *complete* rewriting in LMSS terms; false means partial or base).
+bool UsesOnlyViews(const Query& q, const ViewSet& views);
+
+}  // namespace aqv
+
+#endif  // AQV_VIEWS_VIEW_H_

@@ -1,0 +1,33 @@
+#include "workload/datagen.h"
+
+namespace aqv {
+
+Database MakeRandomDatabase(const Catalog* catalog,
+                            const std::vector<PredId>& preds, Rng* rng,
+                            const DataGenSpec& spec) {
+  Database db(catalog);
+  for (PredId p : preds) {
+    int arity = catalog->pred(p).arity;
+    Relation* rel = db.GetOrCreate(p);
+    std::vector<Value> row(arity);
+    for (int i = 0; i < spec.tuples_per_relation; ++i) {
+      for (int c = 0; c < arity; ++c) {
+        row[c] = static_cast<Value>(
+            rng->NextZipf(spec.domain_size, spec.zipf_skew));
+      }
+      rel->Add(row);
+    }
+    rel->SortDedup();
+  }
+  return db;
+}
+
+std::vector<PredId> ExtensionalPredicates(const Catalog& catalog) {
+  std::vector<PredId> out;
+  for (PredId p = 0; p < catalog.num_predicates(); ++p) {
+    if (catalog.pred(p).kind == PredKind::kExtensional) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,31 @@
+#ifndef AQV_WORKLOAD_DATAGEN_H_
+#define AQV_WORKLOAD_DATAGEN_H_
+
+#include <vector>
+
+#include "cq/catalog.h"
+#include "eval/database.h"
+#include "util/rng.h"
+
+namespace aqv {
+
+/// Parameters for synthetic base data.
+struct DataGenSpec {
+  int tuples_per_relation = 1000;
+  /// Values are drawn from [0, domain_size).
+  int domain_size = 100;
+  /// Zipf skew (0 = uniform). Skewed columns create heavy join fan-out.
+  double zipf_skew = 0.0;
+};
+
+/// Fills one relation per predicate in `preds` with random tuples.
+Database MakeRandomDatabase(const Catalog* catalog,
+                            const std::vector<PredId>& preds, Rng* rng,
+                            const DataGenSpec& spec);
+
+/// All extensional predicates currently declared in `catalog`.
+std::vector<PredId> ExtensionalPredicates(const Catalog& catalog);
+
+}  // namespace aqv
+
+#endif  // AQV_WORKLOAD_DATAGEN_H_

@@ -1,0 +1,171 @@
+#include "workload/scenarios.h"
+
+#include "cq/parser.h"
+#include "util/rng.h"
+#include "workload/datagen.h"
+
+namespace aqv {
+
+namespace {
+
+/// Parses the query and views of a scenario from source text.
+Status WireScenario(Scenario* s, const std::string& query_text,
+                    const std::string& views_text) {
+  Catalog* cat = s->catalog.get();
+  AQV_ASSIGN_OR_RETURN(ViewSet views, ViewSet::Parse(views_text, cat));
+  s->views = std::move(views);
+  AQV_ASSIGN_OR_RETURN(Query q, ParseQuery(query_text, cat));
+  s->query = std::move(q);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Scenario> MakeTravelScenario(uint64_t seed, int db_size) {
+  Scenario s;
+  s.catalog = std::make_unique<Catalog>();
+  s.description =
+      "LAV travel integration: route/service sources over "
+      "flight-serves-train global schema";
+
+  const std::string views = R"(
+    % Source 1: route pairs, airline hidden.
+    routes(F, T) :- flight(F, T, A).
+    % Source 2: airline service directory.
+    serving(A, C) :- serves(A, C).
+    % Source 3: flights by airlines into cities they serve.
+    goodflights(F, T, A) :- flight(F, T, A), serves(A, T).
+    % Source 4: train connections.
+    rail(F, T) :- train(F, T).
+    % Source 5: one airline's own timetable (airline id fixed at 10000).
+    unionair(F, T) :- flight(F, T, 10000).
+  )";
+  const std::string query =
+      "q(F, T, A) :- flight(F, T, A), serves(A, T).";
+  AQV_RETURN_NOT_OK(WireScenario(&s, query, views));
+
+  Rng rng(seed);
+  Catalog* cat = s.catalog.get();
+  s.base = Database(cat);
+  AQV_ASSIGN_OR_RETURN(PredId flight, cat->FindPredicate("flight"));
+  AQV_ASSIGN_OR_RETURN(PredId serves, cat->FindPredicate("serves"));
+  AQV_ASSIGN_OR_RETURN(PredId train, cat->FindPredicate("train"));
+  int cities = std::max(4, db_size / 20);
+  int airlines = std::max(2, db_size / 100);
+  for (int i = 0; i < db_size; ++i) {
+    Value from = static_cast<Value>(rng.NextBounded(cities));
+    Value to = static_cast<Value>(rng.NextBounded(cities));
+    Value airline = 10'000 + static_cast<Value>(rng.NextBounded(airlines));
+    s.base.Add(flight, {from, to, airline});
+    if (rng.NextBool(0.5)) {
+      s.base.Add(serves,
+                 {airline, static_cast<Value>(rng.NextBounded(cities))});
+    }
+    if (rng.NextBool(0.3)) {
+      s.base.Add(train, {to, static_cast<Value>(rng.NextBounded(cities))});
+    }
+  }
+  // Guarantee some query answers: airlines serving their destinations
+  // (including airline 10000, so the unionair source contributes certain
+  // answers in the contained-only regime).
+  for (int i = 0; i < std::max(2, db_size / 10); ++i) {
+    Value from = static_cast<Value>(rng.NextBounded(cities));
+    Value to = static_cast<Value>(rng.NextBounded(cities));
+    Value airline = i % 2 == 0
+                        ? 10'000
+                        : 10'000 + static_cast<Value>(rng.NextBounded(airlines));
+    s.base.Add(flight, {from, to, airline});
+    s.base.Add(serves, {airline, to});
+  }
+  s.base.DedupAll();
+  return s;
+}
+
+Result<Scenario> MakeWarehouseScenario(uint64_t seed, int db_size) {
+  Scenario s;
+  s.catalog = std::make_unique<Catalog>();
+  s.description =
+      "Materialized-view optimization: sales star schema with pre-joined "
+      "views; the query has an equivalent rewriting";
+
+  const std::string views = R"(
+    % Sales joined with product dimension.
+    salesprod(C, P, Cat) :- sale(C, P), product(P, Cat).
+    % Sales joined with customer dimension.
+    salescust(C, P, R) :- sale(C, P), customer(C, R).
+    % Full pre-join.
+    salesfull(C, P, Cat, R) :- sale(C, P), product(P, Cat), customer(C, R).
+    % Category directory.
+    cats(P, Cat) :- product(P, Cat).
+  )";
+  const std::string query =
+      "q(C, P, Cat, R) :- sale(C, P), product(P, Cat), customer(C, R).";
+  AQV_RETURN_NOT_OK(WireScenario(&s, query, views));
+
+  Rng rng(seed);
+  Catalog* cat = s.catalog.get();
+  s.base = Database(cat);
+  AQV_ASSIGN_OR_RETURN(PredId sale, cat->FindPredicate("sale"));
+  AQV_ASSIGN_OR_RETURN(PredId product, cat->FindPredicate("product"));
+  AQV_ASSIGN_OR_RETURN(PredId customer, cat->FindPredicate("customer"));
+  int num_products = std::max(4, db_size / 10);
+  int num_customers = std::max(4, db_size / 5);
+  int num_categories = std::max(2, db_size / 100);
+  int num_regions = 7;
+  for (int p = 0; p < num_products; ++p) {
+    s.base.Add(product,
+               {p, 5'000 + static_cast<Value>(rng.NextBounded(num_categories))});
+  }
+  for (int c = 0; c < num_customers; ++c) {
+    s.base.Add(customer,
+               {c, 9'000 + static_cast<Value>(rng.NextBounded(num_regions))});
+  }
+  for (int i = 0; i < db_size; ++i) {
+    s.base.Add(sale, {static_cast<Value>(rng.NextBounded(num_customers)),
+                      static_cast<Value>(rng.NextBounded(num_products))});
+  }
+  s.base.DedupAll();
+  return s;
+}
+
+Result<Scenario> MakeBibliographyScenario(uint64_t seed, int db_size) {
+  Scenario s;
+  s.catalog = std::make_unique<Catalog>();
+  s.description =
+      "Information-Manifold style bibliography: citation sources with "
+      "restricted exposure";
+
+  const std::string views = R"(
+    % Papers citing each other within a topic.
+    samecites(X, Y) :- cites(X, Y), sametopic(X, Y).
+    % Citation pairs, one endpoint hidden.
+    citedby(Y) :- cites(X, Y).
+    % Mutual citations.
+    mutual(X, Y) :- cites(X, Y), cites(Y, X).
+    % Topic pairs.
+    topics(X, Y) :- sametopic(X, Y).
+  )";
+  const std::string query = "q(X, Y) :- cites(X, Y), cites(Y, X), sametopic(X, Y).";
+  AQV_RETURN_NOT_OK(WireScenario(&s, query, views));
+
+  Rng rng(seed);
+  Catalog* cat = s.catalog.get();
+  s.base = Database(cat);
+  AQV_ASSIGN_OR_RETURN(PredId cites, cat->FindPredicate("cites"));
+  AQV_ASSIGN_OR_RETURN(PredId sametopic, cat->FindPredicate("sametopic"));
+  int papers = std::max(6, db_size / 8);
+  for (int i = 0; i < db_size; ++i) {
+    Value x = static_cast<Value>(rng.NextBounded(papers));
+    Value y = static_cast<Value>(rng.NextBounded(papers));
+    s.base.Add(cites, {x, y});
+    if (rng.NextBool(0.4)) s.base.Add(cites, {y, x});
+    if (rng.NextBool(0.5)) {
+      s.base.Add(sametopic, {x, y});
+      s.base.Add(sametopic, {y, x});
+    }
+  }
+  s.base.DedupAll();
+  return s;
+}
+
+}  // namespace aqv

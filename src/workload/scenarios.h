@@ -1,0 +1,47 @@
+#ifndef AQV_WORKLOAD_SCENARIOS_H_
+#define AQV_WORKLOAD_SCENARIOS_H_
+
+#include <memory>
+#include <string>
+
+#include "cq/catalog.h"
+#include "cq/query.h"
+#include "eval/database.h"
+#include "util/status.h"
+#include "views/view.h"
+
+namespace aqv {
+
+/// \brief A self-contained answering-queries-using-views problem: a global
+/// schema (owned catalog), a user query, the available views/sources, and a
+/// synthetic "hidden" base database (what a LAV mediator never sees
+/// directly, used to materialize extents and cross-check answers).
+struct Scenario {
+  std::unique_ptr<Catalog> catalog;
+  Query query;
+  ViewSet views;
+  Database base;
+  std::string description;
+};
+
+/// \brief Travel data-integration scenario (LAV): global schema
+///   flight(From, To, Airline), serves(Airline, City), train(From, To);
+/// sources expose route pairs, airline-city service, and flight+service
+/// joins; the query asks for airlines flying into cities they serve.
+/// The `goodflights` source supplies an equivalent rewriting; dropping it
+/// (as the examples do) leaves only strictly-contained rewritings, which is
+/// the certain-answer regime.
+Result<Scenario> MakeTravelScenario(uint64_t seed, int db_size);
+
+/// \brief Warehouse materialized-view scenario: a sales star schema with
+/// pre-joined views chosen so the default query has an equivalent rewriting
+/// (the query-optimization use case of LMSS — F5 measures the speedup).
+Result<Scenario> MakeWarehouseScenario(uint64_t seed, int db_size);
+
+/// \brief Bibliography scenario modeled on the classic Information-Manifold
+/// examples: cites/sameTopic sources with restricted exposures.
+Result<Scenario> MakeBibliographyScenario(uint64_t seed, int db_size);
+
+}  // namespace aqv
+
+#endif  // AQV_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "cq/parser.h"
+#include "rewriting/bucket.h"
+#include "views/expansion.h"
+
+namespace aqv {
+namespace {
+
+class BucketTest : public ::testing::Test {
+ protected:
+  Catalog cat_;
+  Query Parse(const std::string& s) { return ParseQuery(s, &cat_).value(); }
+
+  ViewSet Views(const std::string& text) {
+    auto r = ViewSet::Parse(text, &cat_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  BucketResult Run(const Query& q, const ViewSet& vs,
+                   BucketOptions opts = {}) {
+    auto r = BucketRewrite(q, vs, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  // Soundness: every emitted rewriting's expansion is contained in q.
+  void CheckSound(const Query& q, const ViewSet& vs,
+                  const UnionQuery& rewritings) {
+    for (const Query& rw : rewritings.disjuncts) {
+      auto e = ExpandRewriting(rw, vs);
+      ASSERT_TRUE(e.ok());
+      ASSERT_TRUE(e.value().satisfiable);
+      auto sub = IsContainedIn(e.value().query, q);
+      ASSERT_TRUE(sub.ok());
+      EXPECT_TRUE(sub.value()) << rw.ToString();
+    }
+  }
+};
+
+TEST_F(BucketTest, SingleViewFillsBucket) {
+  Query q = Parse("q(X) :- r(X, Y).");
+  ViewSet vs = Views("v(A, B) :- r(A, B).");
+  BucketResult res = Run(q, vs);
+  ASSERT_EQ(res.buckets.size(), 1u);
+  EXPECT_EQ(res.buckets[0].size(), 1u);
+  ASSERT_EQ(res.rewritings.size(), 1);
+  CheckSound(q, vs, res.rewritings);
+}
+
+TEST_F(BucketTest, EmptyBucketMeansNoRewriting) {
+  Query q = Parse("q(X) :- r(X, Y), u(Y).");
+  ViewSet vs = Views("v(A, B) :- r(A, B).");
+  BucketResult res = Run(q, vs);
+  EXPECT_TRUE(res.rewritings.empty());
+  EXPECT_TRUE(res.buckets[1].empty());
+}
+
+TEST_F(BucketTest, DistinguishedVarMustBeExposed) {
+  Query q = Parse("q(X, Y) :- r(X, Y).");
+  ViewSet vs = Views("v(A) :- r(A, B).");  // hides column 2
+  BucketResult res = Run(q, vs);
+  EXPECT_TRUE(res.buckets[0].empty());
+  EXPECT_TRUE(res.rewritings.empty());
+}
+
+TEST_F(BucketTest, ContainmentCheckFiltersBrokenJoins) {
+  // Both buckets non-empty, but the join variable is hidden, so every
+  // combination fails the containment check.
+  Query q = Parse("q(X, Z) :- e(X, Y), f(Y, Z).");
+  ViewSet vs = Views("v(A) :- e(A, B).\nw(C) :- f(B, C).");
+  BucketResult res = Run(q, vs);
+  EXPECT_FALSE(res.buckets[0].empty());
+  EXPECT_FALSE(res.buckets[1].empty());
+  EXPECT_TRUE(res.rewritings.empty());
+  EXPECT_GT(res.combinations_enumerated, 0u);
+}
+
+TEST_F(BucketTest, JoinSurvivesWhenExposed) {
+  Query q = Parse("q(X, Z) :- e(X, Y), f(Y, Z).");
+  ViewSet vs = Views("v(A, B) :- e(A, B).\nw(B, C) :- f(B, C).");
+  BucketResult res = Run(q, vs);
+  ASSERT_EQ(res.rewritings.size(), 1);
+  CheckSound(q, vs, res.rewritings);
+  // And it is in fact equivalent here.
+  auto e = ExpandRewriting(res.rewritings.disjuncts[0], vs);
+  EXPECT_TRUE(AreEquivalent(e.value().query, q).value());
+}
+
+TEST_F(BucketTest, ContainedButNotEquivalentKept) {
+  // The view is narrower than the query; bucket keeps it as a contained
+  // rewriting (certain-answer semantics), but not under require_equivalent.
+  Query q = Parse("q(X) :- e(X, Y).");
+  ViewSet vs = Views("v(A, B) :- e(A, B), t(B).");
+  BucketResult res = Run(q, vs);
+  ASSERT_EQ(res.rewritings.size(), 1);
+  CheckSound(q, vs, res.rewritings);
+
+  BucketOptions strict;
+  strict.require_equivalent = true;
+  BucketResult res2 = Run(q, vs, strict);
+  EXPECT_TRUE(res2.rewritings.empty());
+}
+
+TEST_F(BucketTest, MultipleViewsSameSubgoalMakeUnion) {
+  Query q = Parse("q(X) :- e(X, Y).");
+  ViewSet vs = Views(
+      "v1(A, B) :- e(A, B), t(B).\n"
+      "v2(A, B) :- e(A, B), u(B).");
+  BucketResult res = Run(q, vs);
+  EXPECT_EQ(res.buckets[0].size(), 2u);
+  EXPECT_EQ(res.rewritings.size(), 2);
+  CheckSound(q, vs, res.rewritings);
+}
+
+TEST_F(BucketTest, SelfJoinViewInducesEquality) {
+  Query q = Parse("q(X, Y) :- r(X, Y).");
+  ViewSet vs = Views("v(A) :- r(A, A).");
+  BucketResult res = Run(q, vs);
+  ASSERT_EQ(res.rewritings.size(), 1);
+  const Query& rw = res.rewritings.disjuncts[0];
+  // X and Y collapse in the rewriting head.
+  EXPECT_EQ(rw.head().args[0], rw.head().args[1]);
+  CheckSound(q, vs, res.rewritings);
+}
+
+TEST_F(BucketTest, ConstantInQuerySubgoal) {
+  Query q = Parse("q(X) :- r(X, 3).");
+  ViewSet vs = Views("v(A, B) :- r(A, B).");
+  BucketResult res = Run(q, vs);
+  ASSERT_EQ(res.rewritings.size(), 1);
+  // The rewriting must call v(X, 3).
+  const Query& rw = res.rewritings.disjuncts[0];
+  ASSERT_EQ(rw.body().size(), 1u);
+  EXPECT_TRUE(rw.body()[0].args[1].is_const());
+  CheckSound(q, vs, res.rewritings);
+}
+
+TEST_F(BucketTest, ViewConstantRestrictsCandidate) {
+  Query q = Parse("q(X) :- r(X, Y).");
+  ViewSet vs = Views("v(A) :- r(A, 3).");
+  BucketResult res = Run(q, vs);
+  // Usable: v(X) covers r(X,Y) with Y := 3 (contained, not equivalent).
+  ASSERT_EQ(res.rewritings.size(), 1);
+  CheckSound(q, vs, res.rewritings);
+}
+
+TEST_F(BucketTest, CombinationCapSurfaces) {
+  Query q = Parse("q(X) :- e(X, Y), f(Y, Z).");
+  ViewSet vs = Views(
+      "v1(A, B) :- e(A, B).\nv2(A, B) :- e(A, B), t(B).\n"
+      "w1(B, C) :- f(B, C).\nw2(B, C) :- f(B, C), u(C).");
+  BucketOptions opts;
+  opts.max_combinations = 1;
+  auto r = BucketRewrite(q, vs, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BucketTest, PruneSubsumedTightensUnion) {
+  Query q = Parse("q(X) :- e(X, Y).");
+  ViewSet vs = Views(
+      "v1(A, B) :- e(A, B).\n"
+      "v2(A, B) :- e(A, B), t(B).");
+  BucketOptions opts;
+  opts.prune_subsumed = true;
+  BucketResult res = Run(q, vs, opts);
+  // v2's rewriting is subsumed by v1's.
+  ASSERT_EQ(res.rewritings.size(), 1);
+  EXPECT_NE(res.rewritings.disjuncts[0].ToString().find("v1"),
+            std::string::npos);
+}
+
+TEST_F(BucketTest, EnrichmentRecoversJoinPredicateRewritings) {
+  // Regression for the classic Bucket incompleteness: the subchain views
+  // expose the join variable, but each bucket entry introduces a fresh
+  // variable for the other endpoint, so no plain combination is contained
+  // in q. The validation step's join-predicate enrichment (probe
+  // homomorphisms into q) must recover the rewriting MiniCon finds
+  // directly. (Found by the MiniConEqualsBucketAsUnions property sweep.)
+  Query q = Parse("q(X0, X3) :- r1(X0, X1), r2(X1, X2), r3(X2, X3).");
+  ViewSet vs = Views(
+      "v1(Y0, Y2) :- r1(Y0, Y1), r2(Y1, Y2).\n"
+      "v5(Y2, Y3) :- r3(Y2, Y3).");
+  BucketResult res = Run(q, vs);
+  ASSERT_FALSE(res.rewritings.empty());
+  CheckSound(q, vs, res.rewritings);
+  // Some disjunct must be fully equivalent to q.
+  bool found_equivalent = false;
+  for (const Query& rw : res.rewritings.disjuncts) {
+    auto e = ExpandRewriting(rw, vs);
+    ASSERT_TRUE(e.ok());
+    if (AreEquivalent(e.value().query, q).value()) found_equivalent = true;
+  }
+  EXPECT_TRUE(found_equivalent);
+}
+
+TEST_F(BucketTest, EnrichmentCapZeroDisablesIt) {
+  Query q = Parse("q(X0, X3) :- s1(X0, X1), s2(X1, X2), s3(X2, X3).");
+  ViewSet vs = Views(
+      "w1(Y0, Y2) :- s1(Y0, Y1), s2(Y1, Y2).\n"
+      "w5(Y2, Y3) :- s3(Y2, Y3).");
+  BucketOptions opts;
+  opts.max_enrichments_per_combination = 0;
+  BucketResult res = Run(q, vs, opts);
+  // Without enrichment the classic algorithm finds nothing here.
+  EXPECT_TRUE(res.rewritings.empty());
+}
+
+TEST_F(BucketTest, ComparisonQuerySoundness) {
+  Query q = Parse("q(X) :- r(X, Y), X < 3.");
+  ViewSet vs = Views("v(A, B) :- r(A, B).");
+  BucketResult res = Run(q, vs);
+  ASSERT_EQ(res.rewritings.size(), 1);
+  // The rewriting carries the comparison along.
+  EXPECT_EQ(res.rewritings.disjuncts[0].comparisons().size(), 1u);
+  CheckSound(q, vs, res.rewritings);
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "cq/atom.h"
+#include "cq/catalog.h"
+#include "cq/term.h"
+
+namespace aqv {
+namespace {
+
+TEST(Term, FactoriesAndAccessors) {
+  Term v = Term::Var(3);
+  Term c = Term::Const(5);
+  EXPECT_TRUE(v.is_var());
+  EXPECT_FALSE(v.is_const());
+  EXPECT_EQ(v.var(), 3);
+  EXPECT_TRUE(c.is_const());
+  EXPECT_EQ(c.constant(), 5);
+}
+
+TEST(Term, EqualityDistinguishesKinds) {
+  EXPECT_EQ(Term::Var(1), Term::Var(1));
+  EXPECT_NE(Term::Var(1), Term::Var(2));
+  EXPECT_NE(Term::Var(1), Term::Const(1));
+  EXPECT_EQ(Term::Const(0), Term::Const(0));
+}
+
+TEST(Term, OrderingIsTotal) {
+  EXPECT_LT(Term::Var(0), Term::Var(1));
+  EXPECT_LT(Term::Var(5), Term::Const(0));  // kind-major order
+}
+
+TEST(Term, PackRoundTripsDistinctly) {
+  EXPECT_NE(Term::Var(7).Pack(), Term::Const(7).Pack());
+  EXPECT_NE(TermHash()(Term::Var(7)), TermHash()(Term::Const(7)));
+}
+
+TEST(Catalog, RegistersPredicatesWithArity) {
+  Catalog cat;
+  auto r = cat.GetOrAddPredicate("edge", 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(cat.pred(r.value()).name, "edge");
+  EXPECT_EQ(cat.pred(r.value()).arity, 2);
+  EXPECT_EQ(cat.pred(r.value()).kind, PredKind::kExtensional);
+}
+
+TEST(Catalog, RejectsArityMismatch) {
+  Catalog cat;
+  ASSERT_TRUE(cat.GetOrAddPredicate("edge", 2).ok());
+  auto bad = cat.GetOrAddPredicate("edge", 3);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Catalog, IdempotentRegistration) {
+  Catalog cat;
+  PredId a = cat.GetOrAddPredicate("r", 2).value();
+  PredId b = cat.GetOrAddPredicate("r", 2).value();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(cat.num_predicates(), 1);
+}
+
+TEST(Catalog, IntensionalUpgradeSticks) {
+  Catalog cat;
+  PredId p = cat.GetOrAddPredicate("v", 1).value();
+  EXPECT_EQ(cat.pred(p).kind, PredKind::kExtensional);
+  ASSERT_TRUE(cat.GetOrAddPredicate("v", 1, PredKind::kIntensional).ok());
+  EXPECT_EQ(cat.pred(p).kind, PredKind::kIntensional);
+  // Re-registering extensionally does not downgrade.
+  ASSERT_TRUE(cat.GetOrAddPredicate("v", 1).ok());
+  EXPECT_EQ(cat.pred(p).kind, PredKind::kIntensional);
+}
+
+TEST(Catalog, FindPredicate) {
+  Catalog cat;
+  EXPECT_EQ(cat.FindPredicate("ghost").status().code(), StatusCode::kNotFound);
+  PredId p = cat.GetOrAddPredicate("r", 1).value();
+  EXPECT_EQ(cat.FindPredicate("r").value(), p);
+}
+
+TEST(Catalog, NumericConstantsParseValues) {
+  Catalog cat;
+  ConstId c = cat.InternConstant("42");
+  ASSERT_TRUE(cat.constant(c).numeric.has_value());
+  EXPECT_EQ(*cat.constant(c).numeric, 42);
+  ConstId neg = cat.InternConstant("-17");
+  EXPECT_EQ(*cat.constant(neg).numeric, -17);
+}
+
+TEST(Catalog, SymbolicConstantsHaveNoValue) {
+  Catalog cat;
+  ConstId c = cat.InternConstant("alice");
+  EXPECT_FALSE(cat.constant(c).numeric.has_value());
+  EXPECT_EQ(cat.constant(c).name, "alice");
+}
+
+TEST(Catalog, ConstantInterningIsIdempotent) {
+  Catalog cat;
+  EXPECT_EQ(cat.InternConstant("x"), cat.InternConstant("x"));
+  EXPECT_EQ(cat.InternNumericConstant(7), cat.InternConstant("7"));
+}
+
+TEST(Catalog, FreshConstantsNeverCollide) {
+  Catalog cat;
+  ConstId a = cat.FreshConstant("t");
+  ConstId b = cat.FreshConstant("t");
+  EXPECT_NE(a, b);
+  EXPECT_NE(cat.constant(a).name, cat.constant(b).name);
+}
+
+TEST(Atom, ToStringRendersNamesAndConstants) {
+  Catalog cat;
+  PredId p = cat.GetOrAddPredicate("edge", 2).value();
+  ConstId c = cat.InternConstant("7");
+  Atom a(p, {Term::Var(0), Term::Const(c)});
+  std::vector<std::string> names{"X"};
+  EXPECT_EQ(a.ToString(cat, names), "edge(X, 7)");
+}
+
+TEST(Atom, ToStringFallsBackForUnnamedVars) {
+  Catalog cat;
+  PredId p = cat.GetOrAddPredicate("r", 1).value();
+  Atom a(p, {Term::Var(4)});
+  EXPECT_EQ(a.ToString(cat, {}), "r(V4)");
+}
+
+TEST(Atom, HashDiffersOnArgs) {
+  Catalog cat;
+  PredId p = cat.GetOrAddPredicate("r", 2).value();
+  Atom a(p, {Term::Var(0), Term::Var(1)});
+  Atom b(p, {Term::Var(1), Term::Var(0)});
+  EXPECT_NE(a, b);
+  EXPECT_NE(AtomHash()(a), AtomHash()(b));
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "containment/comparison_containment.h"
+#include "containment/containment.h"
+#include "cq/parser.h"
+
+namespace aqv {
+namespace {
+
+class ComparisonTest : public ::testing::Test {
+ protected:
+  Catalog cat_;
+  Query Parse(const std::string& s) { return ParseQuery(s, &cat_).value(); }
+
+  bool Contained(const Query& sub, const Query& super) {
+    auto r = IsContainedIn(sub, super);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && r.value();
+  }
+};
+
+// --- satisfiability --------------------------------------------------------
+
+TEST_F(ComparisonTest, SatisfiableSimpleOrder) {
+  EXPECT_TRUE(ComparisonsSatisfiable(Parse("q(X) :- r(X, Y), X < Y.")));
+}
+
+TEST_F(ComparisonTest, UnsatCycleOfStrictOrder) {
+  EXPECT_FALSE(
+      ComparisonsSatisfiable(Parse("q(X) :- r(X, Y), X < Y, Y < X.")));
+}
+
+TEST_F(ComparisonTest, LeCycleForcesEqualityAndIsSatisfiable) {
+  EXPECT_TRUE(
+      ComparisonsSatisfiable(Parse("q(X) :- r(X, Y), X <= Y, Y <= X.")));
+}
+
+TEST_F(ComparisonTest, LeCycleWithNeIsUnsat) {
+  EXPECT_FALSE(ComparisonsSatisfiable(
+      Parse("q(X) :- r(X, Y), X <= Y, Y <= X, X != Y.")));
+}
+
+TEST_F(ComparisonTest, EqChainToDistinctConstantsUnsat) {
+  EXPECT_FALSE(ComparisonsSatisfiable(
+      Parse("q(X) :- r(X, Y), X = 3, Y = 4, X = Y.")));
+}
+
+TEST_F(ComparisonTest, ConstantSandwich) {
+  // 5 < X < 5 is unsatisfiable; 3 < X < 7 is satisfiable.
+  EXPECT_FALSE(
+      ComparisonsSatisfiable(Parse("q(X) :- r(X), 5 < X, X < 5.")));
+  EXPECT_TRUE(ComparisonsSatisfiable(Parse("q(X) :- r(X), 3 < X, X < 7.")));
+}
+
+TEST_F(ComparisonTest, DenseDomainBetweenAdjacentIntegers) {
+  // Over the rationals 3 < X < 4 is satisfiable (documented semantics).
+  EXPECT_TRUE(ComparisonsSatisfiable(Parse("q(X) :- r(X), 3 < X, X < 4.")));
+}
+
+TEST_F(ComparisonTest, NeSelfUnsat) {
+  EXPECT_FALSE(ComparisonsSatisfiable(Parse("q(X) :- r(X), X != X.")));
+}
+
+TEST_F(ComparisonTest, TransitiveThroughConstants) {
+  EXPECT_FALSE(ComparisonsSatisfiable(
+      Parse("q(X) :- r(X, Y), X <= 3, 5 <= X.")));
+}
+
+// --- NormalizeEqualities ---------------------------------------------------
+
+TEST_F(ComparisonTest, NormalizeCollapsesVarEqVar) {
+  Query q = Parse("q(X) :- r(X, Y), s(Y, Z), X = Z.");
+  bool unsat = false;
+  Query n = NormalizeEqualities(q, &unsat);
+  ASSERT_FALSE(unsat);
+  EXPECT_EQ(n.num_vars(), 2);
+  EXPECT_TRUE(n.comparisons().empty());
+  // r's first argument and s's second argument now coincide.
+  EXPECT_EQ(n.body()[0].args[0], n.body()[1].args[1]);
+}
+
+TEST_F(ComparisonTest, NormalizeSubstitutesConstants) {
+  Query q = Parse("q(X) :- r(X, Y), Y = 5.");
+  bool unsat = false;
+  Query n = NormalizeEqualities(q, &unsat);
+  ASSERT_FALSE(unsat);
+  EXPECT_TRUE(n.body()[0].args[1].is_const());
+  EXPECT_EQ(*cat_.constant(n.body()[0].args[1].constant()).numeric, 5);
+}
+
+TEST_F(ComparisonTest, NormalizeDetectsConstantClash) {
+  Query q = Parse("q(X) :- r(X, Y), X = 3, X = 4.");
+  bool unsat = false;
+  NormalizeEqualities(q, &unsat);
+  EXPECT_TRUE(unsat);
+}
+
+TEST_F(ComparisonTest, NormalizeEvaluatesGroundComparisons) {
+  bool unsat = false;
+  NormalizeEqualities(Parse("q(X) :- r(X, Y), X = 3, Y = 4, Y < X."), &unsat);
+  EXPECT_TRUE(unsat);
+  unsat = false;
+  Query ok = NormalizeEqualities(
+      Parse("q(X) :- r(X, Y), X = 3, Y = 4, X < Y."), &unsat);
+  EXPECT_FALSE(unsat);
+  EXPECT_TRUE(ok.comparisons().empty());  // trivially true, dropped
+}
+
+TEST_F(ComparisonTest, NormalizeKeepsResidualOrder) {
+  Query q = Parse("q(X) :- r(X, Y), s(Y, Z), X = Y, Z < X.");
+  bool unsat = false;
+  Query n = NormalizeEqualities(q, &unsat);
+  ASSERT_FALSE(unsat);
+  ASSERT_EQ(n.comparisons().size(), 1u);
+  EXPECT_EQ(n.comparisons()[0].op, CmpOp::kLt);
+}
+
+// --- linearization enumeration --------------------------------------------
+
+TEST_F(ComparisonTest, EnumerateUnconstrainedPair) {
+  Query q = Parse("q(X, Y) :- r(X, Y).");
+  auto r = EnumerateLinearizations(q, {0, 1}, {}, 1000);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 3u);  // X<Y, X=Y, X>Y
+}
+
+TEST_F(ComparisonTest, EnumerateRespectsConstraints) {
+  Query q = Parse("q(X, Y) :- r(X, Y), X < Y.");
+  auto r = EnumerateLinearizations(q, {0, 1}, {}, 1000);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  const Linearization& lin = r.value()[0];
+  EXPECT_LT(lin.var_rank[0], lin.var_rank[1]);
+}
+
+TEST_F(ComparisonTest, EnumerateWithConstantSpine) {
+  Query q = Parse("q(X) :- r(X, X).");
+  auto r = EnumerateLinearizations(q, {0}, {5}, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 3u);  // before, equal to, after 5
+}
+
+TEST_F(ComparisonTest, EnumerateCapExceeded) {
+  Query q = Parse("q(A, B) :- r(A, B), r(B, C), r(C, D), r(D, E).");
+  auto r = EnumerateLinearizations(q, {0, 1, 2, 3, 4}, {}, 10);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ComparisonTest, OrderedBellCount) {
+  // 3 unconstrained variables: 13 weak orders (ordered Bell number).
+  Query q = Parse("q(A, B, C) :- r(A, B), r(B, C).");
+  auto r = EnumerateLinearizations(q, {0, 1, 2}, {}, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 13u);
+}
+
+// --- containment with comparisons ------------------------------------------
+
+TEST_F(ComparisonTest, ComparisonRelaxation) {
+  Query narrow = Parse("q(X) :- r(X), X < 3.");
+  Query wide = Parse("q(X) :- r(X), X < 10.");
+  Query plain = Parse("q(X) :- r(X).");
+  EXPECT_TRUE(Contained(narrow, wide));
+  EXPECT_FALSE(Contained(wide, narrow));
+  EXPECT_TRUE(Contained(narrow, plain));
+  EXPECT_FALSE(Contained(plain, narrow));
+}
+
+TEST_F(ComparisonTest, UnsatisfiableContainedInEverything) {
+  Query unsat = Parse("q(X) :- r(X), X < 2, 5 < X.");
+  Query other = Parse("q(X) :- t(X).");
+  EXPECT_TRUE(Contained(unsat, other));
+}
+
+TEST_F(ComparisonTest, ImpliedEqualityEnablesMapping) {
+  // X<=Y,Y<=X forces X=Y, matching the self-loop query both ways.
+  Query sub = Parse("q(X) :- r(X, Y), X <= Y, Y <= X.");
+  Query super = Parse("q(Z) :- r(Z, Z).");
+  EXPECT_TRUE(Contained(sub, super));
+  EXPECT_TRUE(Contained(super, sub));
+}
+
+TEST_F(ComparisonTest, EqualityNormalizationInsideSub) {
+  Query sub = Parse("q(X) :- r(X, Y), X = Y.");
+  Query super = Parse("q(Z) :- r(Z, Z).");
+  EXPECT_TRUE(Contained(sub, super));
+  EXPECT_TRUE(Contained(super, sub));
+}
+
+TEST_F(ComparisonTest, CaseSplitNeedsTheUnion) {
+  // r(X,Y) is contained in (X<=Y) ∪ (Y<=X) but in neither disjunct alone:
+  // the classic density/totality case split.
+  Query q1 = Parse("q() :- r(X, Y).");
+  UnionQuery u;
+  u.disjuncts.push_back(Parse("q() :- r(X, Y), X <= Y."));
+  u.disjuncts.push_back(Parse("q() :- r(X, Y), Y <= X."));
+  auto r = IsContainedInUnion(q1, u);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value());
+  EXPECT_FALSE(Contained(q1, u.disjuncts[0]));
+  EXPECT_FALSE(Contained(q1, u.disjuncts[1]));
+}
+
+TEST_F(ComparisonTest, ConstantsInterleaveWithVariables) {
+  Query sub = Parse("q(X) :- r(X), 3 < X, X < 5.");
+  Query super = Parse("q(X) :- r(X), 2 < X.");
+  EXPECT_TRUE(Contained(sub, super));
+  Query super2 = Parse("q(X) :- r(X), 4 < X.");
+  EXPECT_FALSE(Contained(sub, super2));  // X could be 3.5
+}
+
+TEST_F(ComparisonTest, NeComparisonContainment) {
+  Query sub = Parse("q(X) :- r(X, Y), X < Y.");
+  Query super = Parse("q(X) :- r(X, Y), X != Y.");
+  EXPECT_TRUE(Contained(sub, super));
+  EXPECT_FALSE(Contained(super, sub));
+}
+
+TEST_F(ComparisonTest, ComparisonOnJoinVariable) {
+  Query sub = Parse("q(X) :- r(X, Y), s(Y, Z), Y = 4.");
+  Query super = Parse("q(X) :- r(X, Y), s(Y, Z), 3 < Y.");
+  EXPECT_TRUE(Contained(sub, super));
+  EXPECT_FALSE(Contained(super, sub));
+}
+
+TEST_F(ComparisonTest, CapSurfacesAsResourceExhausted) {
+  Query sub =
+      Parse("q(A, B, C, D, E) :- r(A, B), r(B, C), r(C, D), r(D, E), A < 9.");
+  Query super = Parse(
+      "q(A, B, C, D, E) :- r(A, B), r(B, C), r(C, D), r(D, E), A < 9, "
+      "A <= E.");
+  ContainmentOptions opts;
+  opts.linearization_cap = 5;
+  auto r = IsContainedIn(sub, super, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace aqv

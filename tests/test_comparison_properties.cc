@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "containment/comparison_containment.h"
+#include "containment/containment.h"
+#include "cq/parser.h"
+#include "eval/evaluator.h"
+#include "util/rng.h"
+#include "workload/datagen.h"
+#include "workload/generators.h"
+
+namespace aqv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random semi-interval queries: comparisons of the form Var op Const over a
+// small constant pool, attached to random relational skeletons.
+// ---------------------------------------------------------------------------
+
+class ComparisonProperties : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Catalog cat_;
+  Rng rng_{GetParam()};
+
+  Query RandomComparisonQuery(const std::string& name) {
+    RandomQuerySpec spec;
+    spec.num_subgoals = 3;
+    spec.num_vars = 3;
+    spec.num_predicates = 2;
+    spec.head_arity = 1;
+    spec.head_name = name;
+    Query q = MakeRandomQuery(&cat_, &rng_, spec).value();
+    // Attach 1-2 semi-interval comparisons on body variables.
+    std::vector<bool> in_body = q.BodyVarMask();
+    std::vector<VarId> body_vars;
+    for (VarId v = 0; v < q.num_vars(); ++v) {
+      if (in_body[v]) body_vars.push_back(v);
+    }
+    int num_cmp = 1 + static_cast<int>(rng_.NextBounded(2));
+    for (int i = 0; i < num_cmp && !body_vars.empty(); ++i) {
+      VarId v = body_vars[rng_.NextBounded(body_vars.size())];
+      int64_t c = static_cast<int64_t>(rng_.NextBounded(6));
+      CmpOp op = static_cast<CmpOp>(rng_.NextBounded(4));
+      Term lhs = Term::Var(v);
+      Term rhs = Term::Const(cat_.InternNumericConstant(c));
+      if (rng_.NextBool(0.5)) std::swap(lhs, rhs);
+      q.AddComparison(Comparison(op, lhs, rhs));
+    }
+    EXPECT_TRUE(q.Validate().ok());
+    return q;
+  }
+};
+
+TEST_P(ComparisonProperties, ContainmentIsReflexiveWithComparisons) {
+  for (int i = 0; i < 6; ++i) {
+    Query q = RandomComparisonQuery("cr" + std::to_string(i));
+    auto r = IsContainedIn(q, q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r.value()) << q.ToString();
+  }
+}
+
+TEST_P(ComparisonProperties, DroppingComparisonsWidens) {
+  for (int i = 0; i < 6; ++i) {
+    Query narrow = RandomComparisonQuery("cw" + std::to_string(i));
+    Query wide(narrow.catalog());
+    for (int v = 0; v < narrow.num_vars(); ++v) {
+      wide.AddVariable(narrow.var_name(v));
+    }
+    wide.set_head(narrow.head());
+    for (const Atom& a : narrow.body()) wide.AddBodyAtom(a);
+    auto r = IsContainedIn(narrow, wide);
+    ASSERT_TRUE(r.ok()) << narrow.ToString();
+    EXPECT_TRUE(r.value()) << narrow.ToString();
+  }
+}
+
+TEST_P(ComparisonProperties, ContainmentImpliesAnswerSubsetOnData) {
+  Rng data_rng(GetParam() ^ 0x5a5a5a);
+  for (int i = 0; i < 5; ++i) {
+    Query a = RandomComparisonQuery("da" + std::to_string(i));
+    Query b = RandomComparisonQuery("db" + std::to_string(i));
+    if (a.head().arity() != b.head().arity()) continue;
+    auto contained = IsContainedIn(a, b);
+    if (!contained.ok()) continue;  // linearization cap: skip
+    if (!contained.value()) continue;
+    DataGenSpec spec;
+    spec.tuples_per_relation = 30;
+    spec.domain_size = 8;  // overlaps the comparison constant pool [0,6)
+    Database db = MakeRandomDatabase(&cat_, ExtensionalPredicates(cat_),
+                                     &data_rng, spec);
+    Relation ra = EvaluateQuery(a, db).value();
+    Relation rb = EvaluateQuery(b, db).value();
+    for (auto& row : ra.Rows()) {
+      EXPECT_TRUE(rb.Contains(row))
+          << "a: " << a.ToString() << "\nb: " << b.ToString();
+    }
+  }
+}
+
+TEST_P(ComparisonProperties, SatisfiabilityAgreesWithLinearizationCount) {
+  for (int i = 0; i < 6; ++i) {
+    Query q = RandomComparisonQuery("sl" + std::to_string(i));
+    bool sat = ComparisonsSatisfiable(q);
+    // Enumerate linearizations of the comparison variables against the
+    // constants used; satisfiable iff at least one exists.
+    std::set<VarId> cmp_vars;
+    std::set<int64_t> consts;
+    for (const Comparison& c : q.comparisons()) {
+      for (Term t : {c.lhs, c.rhs}) {
+        if (t.is_var()) {
+          cmp_vars.insert(t.var());
+        } else {
+          auto v = q.catalog()->constant(t.constant()).numeric;
+          if (v.has_value()) consts.insert(*v);
+        }
+      }
+    }
+    auto lins = EnumerateLinearizations(
+        q, std::vector<VarId>(cmp_vars.begin(), cmp_vars.end()),
+        std::vector<int64_t>(consts.begin(), consts.end()), 100000);
+    ASSERT_TRUE(lins.ok()) << q.ToString();
+    EXPECT_EQ(sat, !lins.value().empty()) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComparisonProperties,
+                         ::testing::Values(3, 14, 159, 2653));
+
+// ---------------------------------------------------------------------------
+// Parser round-trip and robustness.
+// ---------------------------------------------------------------------------
+
+class ParserRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserRoundTrip, ToStringReparsesEquivalent) {
+  Catalog cat;
+  Rng rng(GetParam());
+  RandomQuerySpec spec;
+  spec.num_subgoals = 4;
+  spec.num_vars = 4;
+  spec.constant_prob = 0.25;
+  for (int i = 0; i < 10; ++i) {
+    RandomQuerySpec s = spec;
+    s.head_name = "rt" + std::to_string(i);
+    Query q = MakeRandomQuery(&cat, &rng, s).value();
+    auto re = ParseQuery(q.ToString(), &cat);
+    ASSERT_TRUE(re.ok()) << q.ToString() << " -> "
+                         << re.status().ToString();
+    auto eq = AreEquivalent(q, re.value());
+    ASSERT_TRUE(eq.ok());
+    EXPECT_TRUE(eq.value()) << q.ToString();
+  }
+}
+
+TEST_P(ParserRoundTrip, GarbageNeverCrashes) {
+  Catalog cat;
+  Rng rng(GetParam() * 31 + 7);
+  const std::string alphabet = "qrxyzXYZ(),.:-<>=!0123456789 \t_";
+  for (int i = 0; i < 200; ++i) {
+    std::string text;
+    int len = 1 + static_cast<int>(rng.NextBounded(40));
+    for (int j = 0; j < len; ++j) {
+      text += alphabet[rng.NextBounded(alphabet.size())];
+    }
+    auto r = ParseQuery(text, &cat);  // must return, never crash
+    if (r.ok()) {
+      EXPECT_TRUE(r.value().Validate().ok()) << text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTrip,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "cq/parser.h"
+
+namespace aqv {
+namespace {
+
+class ContainmentTest : public ::testing::Test {
+ protected:
+  Catalog cat_;
+  Query Parse(const std::string& s) { return ParseQuery(s, &cat_).value(); }
+
+  bool Contained(const Query& sub, const Query& super) {
+    auto r = IsContainedIn(sub, super);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && r.value();
+  }
+  bool Equivalent(const Query& a, const Query& b) {
+    auto r = AreEquivalent(a, b);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && r.value();
+  }
+};
+
+TEST_F(ContainmentTest, MoreConstrainedIsContained) {
+  Query narrow = Parse("q(X) :- r(X, Y), s(Y).");
+  Query wide = Parse("q(X) :- r(X, Y).");
+  EXPECT_TRUE(Contained(narrow, wide));
+  EXPECT_FALSE(Contained(wide, narrow));
+}
+
+TEST_F(ContainmentTest, SelfLoopIsContainedInPath) {
+  Query loop = Parse("q(X) :- e(X, X).");
+  Query path = Parse("q(X) :- e(X, Y).");
+  EXPECT_TRUE(Contained(loop, path));
+  EXPECT_FALSE(Contained(path, loop));
+}
+
+TEST_F(ContainmentTest, ChandraMerlinRedundancy) {
+  // r(X,Y),r(X,Z) is equivalent to r(X,Y): the duplicate atom is redundant.
+  Query redundant = Parse("q(X) :- r(X, Y), r(X, Z).");
+  Query minimal = Parse("q(X) :- r(X, Y).");
+  EXPECT_TRUE(Equivalent(redundant, minimal));
+}
+
+TEST_F(ContainmentTest, ProjectionDirectionMatters) {
+  Query a = Parse("q(X) :- r(X, Y), s(Y, Z).");
+  Query b = Parse("q(X) :- r(X, Y), s(Y, c).");
+  EXPECT_TRUE(Contained(b, a));
+  EXPECT_FALSE(Contained(a, b));
+}
+
+TEST_F(ContainmentTest, IncomparableQueries) {
+  Query a = Parse("q(X) :- r(X, Y), t(Y).");
+  Query b = Parse("q(X) :- r(X, Y), u(Y).");
+  EXPECT_FALSE(Contained(a, b));
+  EXPECT_FALSE(Contained(b, a));
+}
+
+TEST_F(ContainmentTest, EquivalenceModuloRenaming) {
+  Query a = Parse("q(X, Y) :- r(X, Z), s(Z, Y).");
+  Query b = Parse("q(U, W) :- s(T, W), r(U, T).");
+  EXPECT_TRUE(Equivalent(a, b));
+}
+
+TEST_F(ContainmentTest, PathLengthsAreIncomparable) {
+  Query p2 = Parse("q(X, Y) :- e(X, Z), e(Z, Y).");
+  Query p3 = Parse("q(X, Y) :- e(X, A), e(A, B), e(B, Y).");
+  EXPECT_FALSE(Contained(p2, p3));
+  EXPECT_FALSE(Contained(p3, p2));
+}
+
+TEST_F(ContainmentTest, BooleanPathIntoClique) {
+  // Boolean queries: 3-path maps into a 2-cycle (alternating).
+  Query path = Parse("q() :- e(X, Y), e(Y, Z), e(Z, W).");
+  Query cyc = Parse("q() :- e(A, B), e(B, A).");
+  EXPECT_TRUE(Contained(cyc, path));
+  EXPECT_FALSE(Contained(path, cyc));
+}
+
+TEST_F(ContainmentTest, ContainmentInUnionWitnessedBySingleDisjunct) {
+  Query sub = Parse("q(X) :- r(X, Y), s(Y).");
+  UnionQuery super;
+  super.disjuncts.push_back(Parse("q(X) :- t(X)."));
+  super.disjuncts.push_back(Parse("q(X) :- r(X, Y)."));
+  auto r = IsContainedInUnion(sub, super);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+}
+
+TEST_F(ContainmentTest, NotContainedInUnionOfIncomparables) {
+  Query sub = Parse("q(X) :- r(X, Y).");
+  UnionQuery super;
+  super.disjuncts.push_back(Parse("q(X) :- t(X)."));
+  super.disjuncts.push_back(Parse("q(X) :- u(X)."));
+  auto r = IsContainedInUnion(sub, super);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+}
+
+TEST_F(ContainmentTest, EmptyUnionContainsNothingSatisfiable) {
+  Query sub = Parse("q(X) :- r(X).");
+  UnionQuery empty;
+  auto r = IsContainedInUnion(sub, empty);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+}
+
+TEST_F(ContainmentTest, UnionContainedInQuery) {
+  UnionQuery sub;
+  sub.disjuncts.push_back(Parse("q(X) :- r(X, Y), t(Y)."));
+  sub.disjuncts.push_back(Parse("q(X) :- r(X, 3)."));
+  Query super = Parse("q(X) :- r(X, Y).");
+  auto r = UnionIsContainedIn(sub, super);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+  sub.disjuncts.push_back(Parse("q(X) :- u(X)."));
+  r = UnionIsContainedIn(sub, super);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+}
+
+TEST_F(ContainmentTest, UnionInUnion) {
+  UnionQuery sub, super;
+  sub.disjuncts.push_back(Parse("q(X) :- a(X), b(X)."));
+  sub.disjuncts.push_back(Parse("q(X) :- c(X), d(X)."));
+  super.disjuncts.push_back(Parse("q(X) :- a(X)."));
+  super.disjuncts.push_back(Parse("q(X) :- c(X)."));
+  auto r = UnionIsContainedInUnion(sub, super);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+  auto back = UnionIsContainedInUnion(super, sub);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back.value());
+}
+
+TEST_F(ContainmentTest, HeadConstantsRespected) {
+  Query a = Parse("q(3) :- r(3).");
+  Query b = Parse("q(X) :- r(X).");
+  EXPECT_TRUE(Contained(a, b));
+  EXPECT_FALSE(Contained(b, a));
+}
+
+}  // namespace
+}  // namespace aqv

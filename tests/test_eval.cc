@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "eval/database.h"
+#include "eval/evaluator.h"
+#include "eval/materialize.h"
+#include "eval/value.h"
+
+namespace aqv {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  Catalog cat_;
+  Query Parse(const std::string& s) { return ParseQuery(s, &cat_).value(); }
+
+  Relation Eval(const Query& q, const Database& db) {
+    auto r = EvaluateQuery(q, db);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+};
+
+TEST_F(EvalTest, ValueTaggingDisjoint) {
+  EXPECT_TRUE(IsPlainNumeric(0));
+  EXPECT_TRUE(IsPlainNumeric(-5));
+  EXPECT_TRUE(IsSymbolic(SymbolicValue(3)));
+  EXPECT_FALSE(IsPlainNumeric(SymbolicValue(3)));
+  SkolemTable t;
+  Value sk = t.Intern(0, {1, 2});
+  EXPECT_TRUE(IsSkolem(sk));
+  EXPECT_FALSE(IsPlainNumeric(sk));
+}
+
+TEST_F(EvalTest, SkolemInterningIsStable) {
+  SkolemTable t;
+  Value a = t.Intern(0, {1, 2});
+  Value b = t.Intern(0, {1, 2});
+  Value c = t.Intern(0, {1, 3});
+  Value d = t.Intern(1, {1, 2});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(t.entry(a).fn, 0);
+  EXPECT_EQ(t.entry(a).args, (std::vector<Value>{1, 2}));
+}
+
+TEST_F(EvalTest, ValueOfConstantNumericVsSymbolic) {
+  ConstId n = cat_.InternConstant("42");
+  ConstId s = cat_.InternConstant("bob");
+  EXPECT_EQ(ValueOfConstant(cat_, n), 42);
+  EXPECT_EQ(ValueOfConstant(cat_, s), SymbolicValue(s));
+}
+
+TEST_F(EvalTest, ValueToStringRendering) {
+  ConstId s = cat_.InternConstant("bob");
+  SkolemTable t;
+  Value sk = t.Intern(0, {7});
+  EXPECT_EQ(ValueToString(cat_, 5), "5");
+  EXPECT_EQ(ValueToString(cat_, SymbolicValue(s)), "bob");
+  EXPECT_EQ(ValueToString(cat_, sk, &t), "f0(7)");
+}
+
+TEST_F(EvalTest, RelationSortDedup) {
+  Relation r(0, 2);
+  r.Add({2, 1});
+  r.Add({1, 1});
+  r.Add({2, 1});
+  r.SortDedup();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.at(0, 0), 1);
+  EXPECT_EQ(r.at(1, 0), 2);
+}
+
+TEST_F(EvalTest, RelationSameSet) {
+  Relation a(0, 1), b(0, 1);
+  a.Add({1});
+  a.Add({2});
+  b.Add({2});
+  b.Add({1});
+  b.Add({1});
+  EXPECT_TRUE(Relation::SameSet(a, b));
+  b.Add({3});
+  EXPECT_FALSE(Relation::SameSet(a, b));
+}
+
+TEST_F(EvalTest, NullaryRelationSemantics) {
+  Relation r(0, 0);
+  EXPECT_TRUE(r.empty());
+  r.Add({});
+  EXPECT_EQ(r.size(), 1u);
+  r.Add({});
+  EXPECT_EQ(r.size(), 1u);  // set semantics
+}
+
+TEST_F(EvalTest, SimpleJoin) {
+  Query q = Parse("q(X, Z) :- e(X, Y), f(Y, Z).");
+  Database db(&cat_);
+  PredId e = cat_.FindPredicate("e").value();
+  PredId f = cat_.FindPredicate("f").value();
+  db.Add(e, {1, 2});
+  db.Add(e, {1, 3});
+  db.Add(f, {2, 9});
+  db.Add(f, {3, 8});
+  db.Add(f, {4, 7});
+  Relation out = Eval(q, db);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.Contains({1, 9}));
+  EXPECT_TRUE(out.Contains({1, 8}));
+}
+
+TEST_F(EvalTest, ConstantsFilter) {
+  Query q = Parse("q(X) :- e(X, 2).");
+  Database db(&cat_);
+  PredId e = cat_.FindPredicate("e").value();
+  db.Add(e, {1, 2});
+  db.Add(e, {5, 3});
+  Relation out = Eval(q, db);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains({1}));
+}
+
+TEST_F(EvalTest, RepeatedVariableWithinAtom) {
+  Query q = Parse("q(X) :- e(X, X).");
+  Database db(&cat_);
+  PredId e = cat_.FindPredicate("e").value();
+  db.Add(e, {1, 1});
+  db.Add(e, {1, 2});
+  db.Add(e, {3, 3});
+  Relation out = Eval(q, db);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.Contains({1}));
+  EXPECT_TRUE(out.Contains({3}));
+}
+
+TEST_F(EvalTest, ProjectionDeduplicates) {
+  Query q = Parse("q(X) :- e(X, Y).");
+  Database db(&cat_);
+  PredId e = cat_.FindPredicate("e").value();
+  db.Add(e, {1, 2});
+  db.Add(e, {1, 3});
+  Relation out = Eval(q, db);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(EvalTest, ComparisonsFilterRows) {
+  Query q = Parse("q(X, Y) :- e(X, Y), X < Y.");
+  Database db(&cat_);
+  PredId e = cat_.FindPredicate("e").value();
+  db.Add(e, {1, 2});
+  db.Add(e, {2, 1});
+  db.Add(e, {3, 3});
+  Relation out = Eval(q, db);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains({1, 2}));
+}
+
+TEST_F(EvalTest, ComparisonAgainstConstant) {
+  Query q = Parse("q(X) :- e(X, Y), Y >= 5, X != 2.");
+  Database db(&cat_);
+  PredId e = cat_.FindPredicate("e").value();
+  db.Add(e, {1, 5});
+  db.Add(e, {2, 9});
+  db.Add(e, {3, 4});
+  Relation out = Eval(q, db);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains({1}));
+}
+
+TEST_F(EvalTest, OrderComparisonsFalseOnTaggedValues) {
+  Query q = Parse("q(X) :- e(X, Y), X < Y.");
+  Database db(&cat_);
+  PredId e = cat_.FindPredicate("e").value();
+  db.Add(e, {1, SymbolicValue(0)});  // symbolic right operand
+  Relation out = Eval(q, db);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(EvalTest, EqualityJoinsOnTaggedValues) {
+  SkolemTable t;
+  Value sk = t.Intern(0, {4});
+  Query q = Parse("q(X) :- e(X, Y), f(Y).");
+  Database db(&cat_);
+  PredId e = cat_.FindPredicate("e").value();
+  PredId f = cat_.FindPredicate("f").value();
+  db.Add(e, {1, sk});
+  db.Add(f, {sk});
+  Relation out = Eval(q, db);
+  ASSERT_EQ(out.size(), 1u);  // skolems join by identity
+}
+
+TEST_F(EvalTest, EmptyRelationShortCircuits) {
+  Query q = Parse("q(X) :- e(X, Y), zed(Y).");
+  Database db(&cat_);
+  db.Add(cat_.FindPredicate("e").value(), {1, 2});
+  Relation out = Eval(q, db);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(EvalTest, HeadConstantsEmitted) {
+  Query q = Parse("q(X, 7) :- e(X, Y).");
+  Database db(&cat_);
+  db.Add(cat_.FindPredicate("e").value(), {1, 2});
+  Relation out = Eval(q, db);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains({1, 7}));
+}
+
+TEST_F(EvalTest, BooleanQuerySemantics) {
+  Query q = Parse("q() :- e(X, Y), f(Y, X).");
+  Database db(&cat_);
+  PredId e = cat_.FindPredicate("e").value();
+  PredId f = cat_.FindPredicate("f").value();
+  db.Add(e, {1, 2});
+  Relation empty = Eval(q, db);
+  EXPECT_EQ(empty.size(), 0u);
+  db.Add(f, {2, 1});
+  Relation yes = Eval(q, db);
+  EXPECT_EQ(yes.size(), 1u);
+}
+
+TEST_F(EvalTest, UnionDeduplicatesAcrossDisjuncts) {
+  UnionQuery u;
+  u.disjuncts.push_back(Parse("q(X) :- e(X, Y)."));
+  u.disjuncts.push_back(Parse("q(X) :- f(X, Y)."));
+  Database db(&cat_);
+  db.Add(cat_.FindPredicate("e").value(), {1, 2});
+  db.Add(cat_.FindPredicate("f").value(), {1, 9});
+  db.Add(cat_.FindPredicate("f").value(), {5, 9});
+  auto out = EvaluateUnion(u, db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 2u);
+}
+
+TEST_F(EvalTest, RowCapSurfaces) {
+  Query q = Parse("q(X, Y, Z) :- e(X, Y), e(Y, Z).");
+  Database db(&cat_);
+  PredId e = cat_.FindPredicate("e").value();
+  for (int i = 0; i < 40; ++i) {
+    for (int j = 0; j < 40; ++j) db.Add(e, {i % 4, j});
+  }
+  EvalOptions opts;
+  opts.intermediate_row_cap = 10;
+  auto out = EvaluateQuery(q, db, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(EvalTest, MaterializeViewsProducesExtents) {
+  ViewSet vs = ViewSet::Parse("v(X) :- e(X, Y), f(Y).", &cat_).value();
+  Database db(&cat_);
+  PredId e = cat_.FindPredicate("e").value();
+  PredId f = cat_.FindPredicate("f").value();
+  db.Add(e, {1, 2});
+  db.Add(e, {3, 4});
+  db.Add(f, {2});
+  auto mat = MaterializeViews(vs, db);
+  ASSERT_TRUE(mat.ok());
+  const Relation* extent = mat.value().Find(vs.view(0).pred);
+  ASSERT_NE(extent, nullptr);
+  ASSERT_EQ(extent->size(), 1u);
+  EXPECT_TRUE(extent->Contains({1}));
+  // The base relations are NOT exposed in the materialized database.
+  EXPECT_EQ(mat.value().Find(e), nullptr);
+}
+
+TEST_F(EvalTest, DatabaseBookkeeping) {
+  Database db(&cat_);
+  PredId e = cat_.GetOrAddPredicate("zz", 2).value();
+  EXPECT_EQ(db.Find(e), nullptr);
+  db.Add(e, {1, 2});
+  EXPECT_NE(db.Find(e), nullptr);
+  EXPECT_EQ(db.TotalTuples(), 1u);
+  EXPECT_EQ(db.Predicates().size(), 1u);
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "containment/containment.h"
+#include "containment/minimize.h"
+#include "cq/parser.h"
+#include "eval/evaluator.h"
+#include "rewriting/bucket.h"
+#include "rewriting/lmss.h"
+#include "rewriting/minicon.h"
+#include "views/expansion.h"
+
+namespace aqv {
+namespace {
+
+/// Every resource cap and invalid input must surface as a typed Status —
+/// never a hang, crash, or silent wrong answer. This suite sweeps the
+/// failure paths not already covered by the per-module tests.
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  Catalog cat_;
+  Query Parse(const std::string& s) { return ParseQuery(s, &cat_).value(); }
+
+  ViewSet Views(const std::string& text) {
+    auto r = ViewSet::Parse(text, &cat_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  /// A query with more than 64 subgoals (bitmask limit). Distinct
+  /// predicates keep the pre-check minimization trivial.
+  Query HugeQuery() {
+    std::string body;
+    for (int i = 0; i < 70; ++i) {
+      if (i) body += ", ";
+      body += "r" + std::to_string(i) + "(X" + std::to_string(i) + ", X" +
+              std::to_string(i + 1) + ")";
+    }
+    return Parse("huge(X0) :- " + body + ".");
+  }
+};
+
+TEST_F(FailureInjectionTest, LmssRejectsOver64Subgoals) {
+  Query q = HugeQuery();
+  ViewSet vs = Views("v(A, B) :- r0(A, B).");
+  auto r = FindEquivalentRewritings(q, vs);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailureInjectionTest, BucketRejectsOver64Subgoals) {
+  Query q = HugeQuery();
+  ViewSet vs = Views("vb(A, B) :- r0(A, B).");
+  auto r = BucketRewrite(q, vs);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailureInjectionTest, MiniConRejectsOver64Subgoals) {
+  Query q = HugeQuery();
+  ViewSet vs = Views("vm(A, B) :- r0(A, B).");
+  auto r = MiniConRewrite(q, vs);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailureInjectionTest, LmssCandidateCapSurfaces) {
+  Query q = Parse("q(X, Z) :- e(X, Y), e(Y, Z).");
+  ViewSet vs = Views("ve(A, B) :- e(A, B).");
+  LmssOptions opts;
+  opts.candidates.max_candidates = 1;  // pool needs 2
+  auto r = FindEquivalentRewritings(q, vs, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FailureInjectionTest, ContainmentNodeBudgetSurfaces) {
+  // Self-join chains force real search; a one-node budget must trip.
+  std::string body, body2;
+  for (int i = 0; i < 8; ++i) {
+    if (i) {
+      body += ", ";
+      body2 += ", ";
+    }
+    body += "s(Y" + std::to_string(i) + ", Y" + std::to_string(i + 1) + ")";
+    body2 += "s(Z" + std::to_string(i) + ", Z" + std::to_string(i + 1) + ")";
+  }
+  Query a = Parse("qa(Y0) :- " + body + ".");
+  Query b = Parse("qb(Z0) :- " + body2 + ".");
+  ContainmentOptions opts;
+  opts.node_budget = 1;
+  auto r = IsContainedIn(a, b, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FailureInjectionTest, UnionEvalArityMismatch) {
+  UnionQuery u;
+  u.disjuncts.push_back(Parse("u1(X) :- r(X, Y)."));
+  u.disjuncts.push_back(Parse("u2(X, Y) :- r(X, Y)."));
+  Database db(&cat_);
+  auto r = EvaluateUnion(u, db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailureInjectionTest, EvaluateInvalidQueryFails) {
+  // Hand-build a query with an out-of-range variable.
+  Query q(&cat_);
+  PredId p = cat_.GetOrAddPredicate("p", 1).value();
+  PredId h = cat_.GetOrAddPredicate("h", 1, PredKind::kIntensional).value();
+  VarId x = q.AddVariable("X");
+  q.set_head(Atom(h, {Term::Var(x)}));
+  q.AddBodyAtom(Atom(p, {Term::Var(x + 5)}));  // bogus
+  Database db(&cat_);
+  auto r = EvaluateQuery(q, db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailureInjectionTest, ExpansionOfUnknownViewIsPassThrough) {
+  // An atom that is NOT a view must pass through untouched, even when its
+  // name looks view-ish: no crash, partial-rewriting semantics.
+  ViewSet vs = Views("vx(A) :- r(A, B).");
+  Query rw = Parse("p(X) :- vy(X).");
+  auto e = ExpandRewriting(rw, vs);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().query.body().size(), 1u);
+}
+
+TEST_F(FailureInjectionTest, MinimizeBudgetExhaustionPropagates) {
+  std::string body;
+  for (int i = 0; i < 10; ++i) {
+    if (i) body += ", ";
+    body += "t(W" + std::to_string(i) + ", W" + std::to_string(i + 1) + ")";
+  }
+  Query q = Parse("qm(W0) :- " + body + ".");
+  ContainmentOptions opts;
+  opts.node_budget = 1;
+  auto r = Minimize(q, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FailureInjectionTest, ValidateCatchesNullCatalog) {
+  Query q;
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "rewriting/hardness.h"
+#include "rewriting/lmss.h"
+
+namespace aqv {
+namespace {
+
+Formula3Sat TrivialSat() {
+  // (x1 ∨ x2 ∨ x3)
+  Formula3Sat f;
+  f.num_vars = 3;
+  f.clauses.push_back({{1, 2, 3}});
+  return f;
+}
+
+Formula3Sat TinyUnsat() {
+  // All eight sign patterns over three variables: unsatisfiable.
+  Formula3Sat f;
+  f.num_vars = 3;
+  for (int a : {1, -1}) {
+    for (int b : {2, -2}) {
+      for (int c : {3, -3}) {
+        f.clauses.push_back({{a, b, c}});
+      }
+    }
+  }
+  return f;
+}
+
+TEST(Hardness, BruteForceSatBasics) {
+  EXPECT_TRUE(BruteForceSat(TrivialSat()).value());
+  EXPECT_FALSE(BruteForceSat(TinyUnsat()).value());
+}
+
+TEST(Hardness, BruteForceSatRejectsHugeInput) {
+  Formula3Sat f;
+  f.num_vars = 30;
+  auto r = BruteForceSat(f);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Hardness, ThreeColoringBruteForce) {
+  Graph triangle;
+  triangle.num_nodes = 3;
+  triangle.edges = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_TRUE(BruteForceThreeColorable(triangle).value());
+  Graph k4;
+  k4.num_nodes = 4;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) k4.edges.push_back({i, j});
+  }
+  EXPECT_FALSE(BruteForceThreeColorable(k4).value());
+}
+
+TEST(Hardness, ReductionGraphShape) {
+  Formula3Sat f = TrivialSat();
+  Graph g = ThreeSatToThreeColoring(f);
+  EXPECT_EQ(g.num_nodes, 3 + 2 * 3 + 6 * 1);
+  // 3 palette + 3 per variable + 12 per clause edges.
+  EXPECT_EQ(g.edges.size(), 3u + 9u + 12u);
+}
+
+TEST(Hardness, ReductionPreservesSatisfiability) {
+  Formula3Sat sat = TrivialSat();
+  Graph g_sat = ThreeSatToThreeColoring(sat);
+  ASSERT_LE(g_sat.num_nodes, 20);
+  EXPECT_TRUE(BruteForceThreeColorable(g_sat).value());
+}
+
+TEST(Hardness, ReductionPreservesUnsatisfiability) {
+  // Small unsat formula: (x1)(¬x1) forced via duplicated literals.
+  Formula3Sat f;
+  f.num_vars = 2;
+  f.clauses.push_back({{1, 1, 2}});
+  f.clauses.push_back({{1, 1, -2}});
+  f.clauses.push_back({{-1, -1, 2}});
+  f.clauses.push_back({{-1, -1, -2}});
+  ASSERT_FALSE(BruteForceSat(f).value());
+  // 3 + 4 + 24 nodes > brute-force cap; check satisfiable companion too
+  // via the rewriting decision instead.
+  auto inst = FormulaToRewritingInstance(f);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  LmssOptions opts;
+  opts.candidates.node_budget = 50'000'000;
+  opts.candidates.max_homs_per_view = 8;
+  auto exists = ExistsEquivalentRewriting(inst.value().query,
+                                          inst.value().views, opts);
+  ASSERT_TRUE(exists.ok()) << exists.status().ToString();
+  EXPECT_FALSE(exists.value());
+}
+
+TEST(Hardness, GraphInstanceDecisionMatchesColorability) {
+  Graph triangle;
+  triangle.num_nodes = 3;
+  triangle.edges = {{0, 1}, {1, 2}, {2, 0}};
+  auto inst = GraphToRewritingInstance(triangle);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_TRUE(
+      ExistsEquivalentRewriting(inst->query, inst->views).value());
+
+  Graph k4;
+  k4.num_nodes = 4;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) k4.edges.push_back({i, j});
+  }
+  auto inst2 = GraphToRewritingInstance(k4);
+  ASSERT_TRUE(inst2.ok());
+  EXPECT_FALSE(
+      ExistsEquivalentRewriting(inst2->query, inst2->views).value());
+}
+
+TEST(Hardness, FullChainOnPlantedSatFormulas) {
+  // 3-SAT satisfiability must coincide with rewriting existence through the
+  // whole reduction chain (T2's correspondence, in miniature). Random
+  // formulas are planted-satisfiable: refuting an unsatisfiable instance is
+  // genuinely exponential for the search (that IS the theorem), so the
+  // unsat direction is covered by small crafted formulas below.
+  Rng rng(2024);
+  const std::pair<int, int> sizes[] = {{3, 4}, {3, 5}, {4, 6},
+                                       {4, 8}, {5, 10}, {5, 12}};
+  int conclusive = 0;
+  for (auto [num_vars, num_clauses] : sizes) {
+    uint64_t assignment = rng.Next();
+    Formula3Sat f = RandomFormula(&rng, num_vars, num_clauses);
+    // Plant: flip one literal per clause to agree with `assignment`.
+    for (Clause3& c : f.clauses) {
+      bool satisfied = false;
+      for (int lit : c.lits) {
+        int var = lit > 0 ? lit : -lit;
+        bool value = (assignment >> (var - 1)) & 1;
+        if ((lit > 0) == value) satisfied = true;
+      }
+      if (!satisfied) {
+        int var = std::abs(c.lits[0]);
+        c.lits[0] = ((assignment >> (var - 1)) & 1) ? var : -var;
+      }
+    }
+    ASSERT_TRUE(BruteForceSat(f).value());
+    auto inst = FormulaToRewritingInstance(f);
+    ASSERT_TRUE(inst.ok());
+    LmssOptions opts;
+    opts.candidates.node_budget = 30'000'000;
+    opts.candidates.max_homs_per_view = 4;
+    auto exists = ExistsEquivalentRewriting(inst->query, inst->views, opts);
+    if (!exists.ok()) {
+      // Budget exhausted: an unlucky search order on an NP-hard instance.
+      // Inconclusive trials are skipped; the conclusive quorum below keeps
+      // the correspondence claim honest.
+      ASSERT_EQ(exists.status().code(), StatusCode::kResourceExhausted);
+      continue;
+    }
+    ++conclusive;
+    EXPECT_TRUE(exists.value())
+        << "planted formula n=" << num_vars << " m=" << num_clauses;
+  }
+  EXPECT_GE(conclusive, 4);
+}
+
+TEST(Hardness, FullChainOnCraftedUnsatFormula) {
+  // (x1 ∨ x2)(x1 ∨ ¬x2)(¬x1 ∨ x2)(¬x1 ∨ ¬x2) padded to width 3.
+  Formula3Sat f;
+  f.num_vars = 2;
+  f.clauses.push_back({{1, 1, 2}});
+  f.clauses.push_back({{1, 1, -2}});
+  f.clauses.push_back({{-1, -1, 2}});
+  f.clauses.push_back({{-1, -1, -2}});
+  ASSERT_FALSE(BruteForceSat(f).value());
+  auto inst = FormulaToRewritingInstance(f);
+  ASSERT_TRUE(inst.ok());
+  LmssOptions opts;
+  opts.candidates.node_budget = 200'000'000;
+  opts.candidates.max_homs_per_view = 8;
+  auto exists = ExistsEquivalentRewriting(inst->query, inst->views, opts);
+  ASSERT_TRUE(exists.ok()) << exists.status().ToString();
+  EXPECT_FALSE(exists.value());
+}
+
+TEST(Hardness, RandomFormulaShape) {
+  Rng rng(7);
+  Formula3Sat f = RandomFormula(&rng, 10, 42);
+  EXPECT_EQ(f.num_vars, 10);
+  EXPECT_EQ(f.clauses.size(), 42u);
+  for (const Clause3& c : f.clauses) {
+    // Distinct variables within each clause.
+    int v0 = std::abs(c.lits[0]), v1 = std::abs(c.lits[1]),
+        v2 = std::abs(c.lits[2]);
+    EXPECT_NE(v0, v1);
+    EXPECT_NE(v0, v2);
+    EXPECT_NE(v1, v2);
+    EXPECT_GE(v0, 1);
+    EXPECT_LE(v0, 10);
+  }
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "rewriting/inverse_rules.h"
+
+namespace aqv {
+namespace {
+
+class InverseRulesTest : public ::testing::Test {
+ protected:
+  Catalog cat_;
+
+  ViewSet Views(const std::string& text) {
+    auto r = ViewSet::Parse(text, &cat_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  InverseRuleSet Build(const ViewSet& vs) {
+    auto r = BuildInverseRules(vs);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+};
+
+TEST_F(InverseRulesTest, OneRulePerBodyAtom) {
+  ViewSet vs = Views("v(X) :- r(X, Y), s(Y, Z).");
+  InverseRuleSet ir = Build(vs);
+  EXPECT_EQ(ir.rules.size(), 2u);
+}
+
+TEST_F(InverseRulesTest, SkolemPerExistentialVariable) {
+  ViewSet vs = Views("v(X) :- r(X, Y), s(Y, Z).");
+  InverseRuleSet ir = Build(vs);
+  EXPECT_EQ(ir.functions.size(), 2u);
+  EXPECT_EQ(ir.functions[0].arity, 1);  // one distinguished var X
+}
+
+TEST_F(InverseRulesTest, DistinguishedVarsPassThrough) {
+  ViewSet vs = Views("v(X, Y) :- r(X, Y).");
+  InverseRuleSet ir = Build(vs);
+  ASSERT_EQ(ir.rules.size(), 1u);
+  const InverseRule& rule = ir.rules[0];
+  EXPECT_FALSE(rule.head_args[0].is_skolem());
+  EXPECT_FALSE(rule.head_args[1].is_skolem());
+  EXPECT_TRUE(ir.functions.empty());
+}
+
+TEST_F(InverseRulesTest, SharedExistentialSharesSkolem) {
+  // Y occurs in both atoms: both rules must reference the SAME function.
+  ViewSet vs = Views("v(X, Z) :- r(X, Y), s(Y, Z).");
+  InverseRuleSet ir = Build(vs);
+  ASSERT_EQ(ir.rules.size(), 2u);
+  ASSERT_EQ(ir.functions.size(), 1u);
+  int fn_r = ir.rules[0].head_args[1].skolem_fn;
+  int fn_s = ir.rules[1].head_args[0].skolem_fn;
+  EXPECT_EQ(fn_r, 0);
+  EXPECT_EQ(fn_s, 0);
+}
+
+TEST_F(InverseRulesTest, ConstantsInViewBody) {
+  ViewSet vs = Views("v(X) :- r(X, 3).");
+  InverseRuleSet ir = Build(vs);
+  ASSERT_EQ(ir.rules.size(), 1u);
+  EXPECT_FALSE(ir.rules[0].head_args[1].is_skolem());
+  EXPECT_TRUE(ir.rules[0].head_args[1].term.is_const());
+}
+
+TEST_F(InverseRulesTest, RepeatedHeadVarKeptInViewAtom) {
+  ViewSet vs = Views("v(X, X) :- r(X, X).");
+  InverseRuleSet ir = Build(vs);
+  ASSERT_EQ(ir.rules.size(), 1u);
+  const Atom& pattern = ir.rules[0].view_atom;
+  EXPECT_EQ(pattern.args[0], pattern.args[1]);  // match filter preserved
+}
+
+TEST_F(InverseRulesTest, SkolemParamsAreHeadVars) {
+  ViewSet vs = Views("v(A, B) :- r(A, C), s(B, C).");
+  InverseRuleSet ir = Build(vs);
+  ASSERT_EQ(ir.functions.size(), 1u);
+  EXPECT_EQ(ir.functions[0].arity, 2);
+  for (const InverseRule& rule : ir.rules) {
+    EXPECT_EQ(rule.skolem_params.size(), 2u);
+  }
+}
+
+TEST_F(InverseRulesTest, ToStringRendersSkolems) {
+  ViewSet vs = Views("v(X) :- r(X, Y).");
+  InverseRuleSet ir = Build(vs);
+  std::string s = ir.ToString(cat_);
+  EXPECT_NE(s.find("f0("), std::string::npos);
+  EXPECT_NE(s.find(":- v("), std::string::npos);
+}
+
+TEST_F(InverseRulesTest, MultipleViewsAccumulate) {
+  ViewSet vs = Views(
+      "v1(X) :- r(X, Y).\n"
+      "v2(A, B) :- s(A, B), t(B).");
+  InverseRuleSet ir = Build(vs);
+  EXPECT_EQ(ir.rules.size(), 3u);
+  EXPECT_EQ(ir.functions.size(), 1u);  // only v1's Y
+}
+
+TEST_F(InverseRulesTest, FunctionsRecordProvenance) {
+  ViewSet vs = Views("v9(X) :- r(X, Y).");
+  InverseRuleSet ir = Build(vs);
+  ASSERT_EQ(ir.functions.size(), 1u);
+  EXPECT_EQ(ir.functions[0].var_name, "Y");
+  EXPECT_EQ(cat_.pred(ir.functions[0].view_pred).name, "v9");
+}
+
+}  // namespace
+}  // namespace aqv

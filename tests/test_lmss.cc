@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "cq/parser.h"
+#include "rewriting/lmss.h"
+#include "views/expansion.h"
+
+namespace aqv {
+namespace {
+
+class LmssTest : public ::testing::Test {
+ protected:
+  Catalog cat_;
+  Query Parse(const std::string& s) { return ParseQuery(s, &cat_).value(); }
+
+  ViewSet Views(const std::string& text) {
+    auto r = ViewSet::Parse(text, &cat_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  LmssResult Run(const Query& q, const ViewSet& vs, int max_rewritings = 1) {
+    LmssOptions opts;
+    opts.max_rewritings = max_rewritings;
+    auto r = FindEquivalentRewritings(q, vs, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  // Every returned rewriting must expand to something equivalent to q.
+  void CheckWitnesses(const Query& q, const ViewSet& vs,
+                      const LmssResult& res) {
+    for (const Query& rw : res.rewritings) {
+      EXPECT_TRUE(UsesOnlyViews(rw, vs)) << rw.ToString();
+      auto e = ExpandRewriting(rw, vs);
+      ASSERT_TRUE(e.ok());
+      ASSERT_TRUE(e.value().satisfiable);
+      auto eq = AreEquivalent(e.value().query, q);
+      ASSERT_TRUE(eq.ok());
+      EXPECT_TRUE(eq.value()) << "rewriting " << rw.ToString()
+                              << " expands to non-equivalent "
+                              << e.value().query.ToString();
+    }
+  }
+};
+
+TEST_F(LmssTest, IdentityViewGivesRewriting) {
+  Query q = Parse("q(X, Y) :- r(X, Y).");
+  ViewSet vs = Views("v(A, B) :- r(A, B).");
+  LmssResult res = Run(q, vs);
+  EXPECT_TRUE(res.exists);
+  ASSERT_EQ(res.rewritings.size(), 1u);
+  CheckWitnesses(q, vs, res);
+}
+
+TEST_F(LmssTest, TwoHopChainFromSingleEdgeView) {
+  Query q = Parse("q(X, Z) :- e(X, Y), e(Y, Z).");
+  ViewSet vs = Views("v(A, B) :- e(A, B).");
+  LmssResult res = Run(q, vs);
+  EXPECT_TRUE(res.exists);
+  CheckWitnesses(q, vs, res);
+}
+
+TEST_F(LmssTest, HiddenJoinVariableBlocksRewriting) {
+  // The view hides Y, which the query needs to join on.
+  Query q = Parse("q(X, Z) :- e(X, Y), f(Y, Z).");
+  ViewSet vs = Views("v(A) :- e(A, B).\nw(C) :- f(B, C).");
+  LmssResult res = Run(q, vs);
+  EXPECT_FALSE(res.exists);
+}
+
+TEST_F(LmssTest, ExposedJoinVariableEnablesRewriting) {
+  Query q = Parse("q(X, Z) :- e(X, Y), f(Y, Z).");
+  ViewSet vs = Views("v(A, B) :- e(A, B).\nw(B, C) :- f(B, C).");
+  LmssResult res = Run(q, vs);
+  EXPECT_TRUE(res.exists);
+  CheckWitnesses(q, vs, res);
+}
+
+TEST_F(LmssTest, ViewTooNarrowNoRewriting) {
+  // The view constrains more than the query: expansion ⊑ q strictly.
+  Query q = Parse("q(X) :- e(X, Y).");
+  ViewSet vs = Views("v(A) :- e(A, B), t(B).");
+  LmssResult res = Run(q, vs);
+  EXPECT_FALSE(res.exists);
+}
+
+TEST_F(LmssTest, ViewTooWideNoRewriting) {
+  Query q = Parse("q(X) :- e(X, Y), t(Y).");
+  ViewSet vs = Views("v(A) :- e(A, B).");
+  LmssResult res = Run(q, vs);
+  EXPECT_FALSE(res.exists);
+}
+
+TEST_F(LmssTest, RedundantQueryMinimizedFirst) {
+  // After minimization the query is a single atom.
+  Query q = Parse("q(X) :- e(X, Y), e(X, Z).");
+  ViewSet vs = Views("v(A, B) :- e(A, B).");
+  LmssResult res = Run(q, vs);
+  EXPECT_TRUE(res.exists);
+  EXPECT_EQ(res.minimized_query.body().size(), 1u);
+  CheckWitnesses(q, vs, res);
+}
+
+TEST_F(LmssTest, CycleThroughSingleView) {
+  Query q = Parse("q(X) :- e(X, Y), e(Y, X).");
+  ViewSet vs = Views("v(A, B) :- e(A, B).");
+  LmssResult res = Run(q, vs);
+  EXPECT_TRUE(res.exists);
+  CheckWitnesses(q, vs, res);
+}
+
+TEST_F(LmssTest, TwoAtomViewCoversPairs) {
+  // LMSS running example shape: a pre-joined view covering two subgoals.
+  Query q = Parse("q(X, W) :- e(X, Y), f(Y, Z), g(Z, W).");
+  ViewSet vs = Views(
+      "v1(A, C) :- e(A, B), f(B, C).\n"
+      "v2(C, D) :- g(C, D).");
+  LmssResult res = Run(q, vs);
+  EXPECT_TRUE(res.exists);
+  CheckWitnesses(q, vs, res);
+}
+
+TEST_F(LmssTest, ConstantInView) {
+  Query q = Parse("q(X) :- e(X, 3).");
+  ViewSet vs = Views("v(A) :- e(A, 3).");
+  LmssResult res = Run(q, vs);
+  EXPECT_TRUE(res.exists);
+  CheckWitnesses(q, vs, res);
+}
+
+TEST_F(LmssTest, ConstantMismatchNoRewriting) {
+  Query q = Parse("q(X) :- e(X, 3).");
+  ViewSet vs = Views("v(A) :- e(A, 4).");
+  LmssResult res = Run(q, vs);
+  EXPECT_FALSE(res.exists);
+}
+
+TEST_F(LmssTest, EnumerationFindsMultipleWitnesses) {
+  Query q = Parse("q(X, Y) :- e(X, Y).");
+  ViewSet vs = Views("v1(A, B) :- e(A, B).\nv2(A, B) :- e(A, B).");
+  LmssResult res = Run(q, vs, /*max_rewritings=*/10);
+  EXPECT_TRUE(res.exists);
+  EXPECT_GE(res.rewritings.size(), 2u);
+  CheckWitnesses(q, vs, res);
+}
+
+TEST_F(LmssTest, LengthBoundRespected) {
+  // LMSS R1: rewritings found never exceed |body(minimized q)| atoms.
+  Query q = Parse("q(X, W) :- e(X, Y), f(Y, Z), g(Z, W).");
+  ViewSet vs = Views(
+      "v1(A, B) :- e(A, B).\n"
+      "v2(B, C) :- f(B, C).\n"
+      "v3(C, D) :- g(C, D).");
+  LmssResult res = Run(q, vs, /*max_rewritings=*/100);
+  EXPECT_TRUE(res.exists);
+  for (const Query& rw : res.rewritings) {
+    EXPECT_LE(rw.body().size(), res.minimized_query.body().size());
+  }
+  CheckWitnesses(q, vs, res);
+}
+
+TEST_F(LmssTest, DecisionWrapper) {
+  Query q = Parse("q(X, Y) :- r(X, Y).");
+  ViewSet yes = Views("v(A, B) :- r(A, B).");
+  ViewSet no = Views("u(A) :- r(A, B).");
+  EXPECT_TRUE(ExistsEquivalentRewriting(q, yes).value());
+  EXPECT_FALSE(ExistsEquivalentRewriting(q, no).value());
+}
+
+TEST_F(LmssTest, EmptyViewSetNoRewriting) {
+  Query q = Parse("q(X) :- r(X).");
+  ViewSet vs;
+  LmssResult res = Run(q, vs);
+  EXPECT_FALSE(res.exists);
+  EXPECT_EQ(res.num_candidates, 0u);
+}
+
+TEST_F(LmssTest, SubsetBudgetSurfaces) {
+  Query q = Parse("q(X, Z) :- e(X, Y), e(Y, Z).");
+  ViewSet vs = Views("v(A, B) :- e(A, B).");
+  LmssOptions opts;
+  opts.max_subsets = 0;
+  auto r = FindEquivalentRewritings(q, vs, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(LmssTest, SelfJoinQueryThroughPathView) {
+  // q over a loop; the 2-path view folds onto it.
+  Query q = Parse("q(X) :- e(X, X).");
+  ViewSet vs = Views("v(A, C) :- e(A, B), e(B, C).");
+  LmssResult res = Run(q, vs);
+  // Expansion of v(X,X) is e(X,B),e(B,X) which is NOT equivalent to e(X,X).
+  EXPECT_FALSE(res.exists);
+}
+
+TEST_F(LmssTest, DistinguishedEverywhereView) {
+  Query q = Parse("q(X, Y, Z) :- e(X, Y), f(Y, Z).");
+  ViewSet vs = Views("v(A, B, C) :- e(A, B), f(B, C).");
+  LmssResult res = Run(q, vs);
+  EXPECT_TRUE(res.exists);
+  CheckWitnesses(q, vs, res);
+}
+
+TEST_F(LmssTest, PartialRewritingFillsUncoveredSubgoal) {
+  // No view covers u; a partial rewriting uses the base atom for it.
+  Query q = Parse("q(X, Z) :- e(X, Y), f(Y, Z), u(Z).");
+  ViewSet vs = Views("v(A, B) :- e(A, B).\nw(B, C) :- f(B, C).");
+  LmssResult complete_only = Run(q, vs);
+  EXPECT_FALSE(complete_only.exists);
+
+  LmssOptions opts;
+  opts.allow_base_atoms = true;
+  opts.max_rewritings = 10;
+  LmssResult partial = FindEquivalentRewritings(q, vs, opts).value();
+  ASSERT_TRUE(partial.exists);
+  bool found_mixed = false;
+  for (const Query& rw : partial.rewritings) {
+    bool has_view = false, has_base = false;
+    for (const Atom& a : rw.body()) {
+      (vs.FindByPred(a.pred) != nullptr ? has_view : has_base) = true;
+    }
+    if (has_view && has_base) found_mixed = true;
+    auto e = ExpandRewriting(rw, vs);
+    ASSERT_TRUE(e.ok());
+    EXPECT_TRUE(AreEquivalent(e.value().query, q).value()) << rw.ToString();
+  }
+  EXPECT_TRUE(found_mixed);
+}
+
+TEST_F(LmssTest, PartialRewritingSuppressesTrivialByDefault) {
+  Query q = Parse("q(X) :- r(X, Y).");
+  ViewSet vs;  // no views at all
+  LmssOptions opts;
+  opts.allow_base_atoms = true;
+  opts.max_rewritings = 10;
+  LmssResult res = FindEquivalentRewritings(q, vs, opts).value();
+  EXPECT_FALSE(res.exists);  // all-base rewriting suppressed
+
+  opts.allow_trivial = true;
+  LmssResult trivial = FindEquivalentRewritings(q, vs, opts).value();
+  ASSERT_TRUE(trivial.exists);
+  EXPECT_EQ(trivial.rewritings[0].body().size(), 1u);
+}
+
+TEST_F(LmssTest, PartialRewritingPrefersNothingItCannotProve) {
+  // The base atom route must still pass the equivalence gate: a view that
+  // is too narrow stays unusable even with base atoms available.
+  Query q = Parse("q(X) :- e(X, Y), t(Y).");
+  ViewSet vs = Views("v(A) :- e(A, B), t(B), z(B).");
+  LmssOptions opts;
+  opts.allow_base_atoms = true;
+  opts.max_rewritings = 10;
+  LmssResult res = FindEquivalentRewritings(q, vs, opts).value();
+  for (const Query& rw : res.rewritings) {
+    auto e = ExpandRewriting(rw, vs);
+    ASSERT_TRUE(e.ok());
+    EXPECT_TRUE(AreEquivalent(e.value().query, q).value());
+    // v cannot appear: its z(B) constraint is not implied by q.
+    for (const Atom& a : rw.body()) {
+      EXPECT_EQ(vs.FindByPred(a.pred), nullptr);
+    }
+  }
+}
+
+TEST_F(LmssTest, ComparisonQueryWithMatchingViewComparison) {
+  Query q = Parse("q(X) :- r(X, Y), Y < 5.");
+  ViewSet vs = Views("v(A) :- r(A, B), B < 5.");
+  LmssResult res = Run(q, vs);
+  EXPECT_TRUE(res.exists);
+  for (const Query& rw : res.rewritings) {
+    auto e = ExpandRewriting(rw, vs);
+    ASSERT_TRUE(e.ok());
+    EXPECT_TRUE(AreEquivalent(e.value().query, q).value());
+  }
+}
+
+TEST_F(LmssTest, ComparisonMismatchNoRewriting) {
+  Query q = Parse("q(X) :- r(X, Y), Y < 5.");
+  ViewSet vs = Views("v(A) :- r(A, B), B < 4.");
+  LmssResult res = Run(q, vs);
+  EXPECT_FALSE(res.exists);
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+
+namespace aqv {
+namespace {
+
+TEST(Parser, SimpleRule) {
+  Catalog cat;
+  auto r = ParseQuery("q(X, Y) :- edge(X, Z), edge(Z, Y).", &cat);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Query& q = r.value();
+  EXPECT_EQ(q.body().size(), 2u);
+  EXPECT_EQ(q.num_vars(), 3);
+  EXPECT_EQ(q.head().arity(), 2);
+  EXPECT_EQ(cat.pred(q.head().pred).kind, PredKind::kIntensional);
+  EXPECT_EQ(cat.pred(q.body()[0].pred).kind, PredKind::kExtensional);
+}
+
+TEST(Parser, VariableIdentityWithinRule) {
+  Catalog cat;
+  Query q = ParseQuery("q(X) :- r(X, X).", &cat).value();
+  EXPECT_EQ(q.num_vars(), 1);
+  EXPECT_EQ(q.body()[0].args[0], q.body()[0].args[1]);
+}
+
+TEST(Parser, ConstantsSymbolicAndNumeric) {
+  Catalog cat;
+  Query q = ParseQuery("q(X) :- r(X, alice), s(X, 42).", &cat).value();
+  Term sym = q.body()[0].args[1];
+  Term num = q.body()[1].args[1];
+  ASSERT_TRUE(sym.is_const());
+  ASSERT_TRUE(num.is_const());
+  EXPECT_FALSE(cat.constant(sym.constant()).numeric.has_value());
+  EXPECT_EQ(*cat.constant(num.constant()).numeric, 42);
+}
+
+TEST(Parser, NegativeNumbers) {
+  Catalog cat;
+  Query q = ParseQuery("q(X) :- r(X), X > -5.", &cat).value();
+  ASSERT_EQ(q.comparisons().size(), 1u);
+  // X > -5 normalizes to -5 < X.
+  EXPECT_EQ(q.comparisons()[0].op, CmpOp::kLt);
+  EXPECT_TRUE(q.comparisons()[0].lhs.is_const());
+}
+
+TEST(Parser, AllComparisonOperators) {
+  Catalog cat;
+  Query q = ParseQuery(
+                "q(X, Y) :- r(X, Y), X < 3, X <= Y, Y = 2, X != Y, Y > 0, "
+                "X >= 1.",
+                &cat)
+                .value();
+  ASSERT_EQ(q.comparisons().size(), 6u);
+  EXPECT_EQ(q.comparisons()[0].op, CmpOp::kLt);
+  EXPECT_EQ(q.comparisons()[1].op, CmpOp::kLe);
+  EXPECT_EQ(q.comparisons()[2].op, CmpOp::kEq);
+  EXPECT_EQ(q.comparisons()[3].op, CmpOp::kNe);
+  EXPECT_EQ(q.comparisons()[4].op, CmpOp::kLt);  // 0 < Y
+  EXPECT_EQ(q.comparisons()[5].op, CmpOp::kLe);  // 1 <= X
+}
+
+TEST(Parser, CommentsAndWhitespace) {
+  Catalog cat;
+  auto r = ParseQuery(
+      "% header comment\n  q(X) :- % inline\n    r(X).  % trailing\n", &cat);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(Parser, FactWithEmptyBodyHead) {
+  Catalog cat;
+  auto r = ParseQuery("q(3).", &cat);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().body().empty());
+}
+
+TEST(Parser, NullaryAtoms) {
+  Catalog cat;
+  auto r = ParseQuery("q() :- marker().", &cat);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().head().arity(), 0);
+}
+
+TEST(Parser, ErrorMissingPeriod) {
+  Catalog cat;
+  auto r = ParseQuery("q(X) :- r(X)", &cat);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(Parser, ErrorUnsafeHead) {
+  Catalog cat;
+  auto r = ParseQuery("q(X, W) :- r(X).", &cat);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Parser, ErrorUnsafeComparisonVar) {
+  Catalog cat;
+  auto r = ParseQuery("q(X) :- r(X), W < 3.", &cat);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Parser, ErrorSymbolicConstantInComparison) {
+  Catalog cat;
+  auto r = ParseQuery("q(X) :- r(X), X < apple.", &cat);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Parser, ErrorArityMismatchAcrossRules) {
+  Catalog cat;
+  ASSERT_TRUE(ParseQuery("q(X) :- r(X, Y).", &cat).ok());
+  auto r = ParseQuery("p(X) :- r(X).", &cat);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Parser, ErrorGarbageCharacter) {
+  Catalog cat;
+  auto r = ParseQuery("q(X) :- r(X) & s(X).", &cat);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(Parser, ErrorLoneColon) {
+  Catalog cat;
+  auto r = ParseQuery("q(X) : r(X).", &cat);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Parser, ErrorBangWithoutEquals) {
+  Catalog cat;
+  auto r = ParseQuery("q(X) :- r(X), X ! 3.", &cat);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Parser, ProgramParsesMultipleRules) {
+  Catalog cat;
+  auto r = ParseProgram(
+      "v1(X) :- r(X, Y).\n"
+      "v2(X, Y) :- r(X, Y), s(Y).\n",
+      &cat);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(Parser, ProgramTrailingGarbageFails) {
+  Catalog cat;
+  auto r = ParseProgram("v1(X) :- r(X). stray", &cat);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Parser, SingleQueryTrailingInputFails) {
+  Catalog cat;
+  auto r = ParseQuery("q(X) :- r(X). extra(Y) :- r(Y).", &cat);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Parser, ToStringRoundTrip) {
+  Catalog cat;
+  std::string text = "q(X, Y) :- edge(X, Z), edge(Z, Y), X < 5.";
+  Query q1 = ParseQuery(text, &cat).value();
+  std::string rendered = q1.ToString();
+  Query q2 = ParseQuery(rendered, &cat).value();
+  EXPECT_EQ(q1.ToString(), q2.ToString());
+  EXPECT_EQ(q1.body().size(), q2.body().size());
+}
+
+}  // namespace
+}  // namespace aqv

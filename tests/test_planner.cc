@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "eval/evaluator.h"
+#include "eval/materialize.h"
+#include "rewriting/planner.h"
+#include "workload/scenarios.h"
+
+namespace aqv {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  Catalog cat_;
+  Query Parse(const std::string& s) { return ParseQuery(s, &cat_).value(); }
+
+  ViewSet Views(const std::string& text) {
+    auto r = ViewSet::Parse(text, &cat_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+};
+
+TEST_F(PlannerTest, StatsFromDatabase) {
+  Database db(&cat_);
+  PredId r = cat_.GetOrAddPredicate("r", 2).value();
+  db.Add(r, {1, 2});
+  db.Add(r, {3, 4});
+  ExtentStats stats = ExtentStats::FromDatabase(db);
+  EXPECT_EQ(stats.Card(r), 2u);
+  EXPECT_EQ(stats.Card(r + 100), 0u);
+}
+
+TEST_F(PlannerTest, CostPrefersSmallRelations) {
+  Query small = Parse("q(X) :- tiny(X, Y).");
+  Query big = Parse("q2(X) :- huge(X, Y).");
+  ExtentStats stats;
+  stats.cardinality[cat_.FindPredicate("tiny").value()] = 10;
+  stats.cardinality[cat_.FindPredicate("huge").value()] = 100000;
+  EXPECT_LT(EstimatePlanCost(small, stats), EstimatePlanCost(big, stats));
+}
+
+TEST_F(PlannerTest, CostGrowsWithJoinDepth) {
+  Query one = Parse("p1(X) :- r(X, Y).");
+  Query two = Parse("p2(X) :- r(X, Y), r(Y, Z).");
+  ExtentStats stats;
+  stats.cardinality[cat_.FindPredicate("r").value()] = 100;
+  EXPECT_LT(EstimatePlanCost(one, stats), EstimatePlanCost(two, stats));
+}
+
+TEST_F(PlannerTest, ChoosesPreJoinedViewWhenCheaper) {
+  Query q = Parse("q(X, Z) :- e(X, Y), f(Y, Z).");
+  ViewSet vs = Views(
+      "ve(A, B) :- e(A, B).\n"
+      "vf(B, C) :- f(B, C).\n"
+      "vj(A, C) :- e(A, B), f(B, C).");
+  ExtentStats view_stats;
+  view_stats.cardinality[cat_.FindPredicate("ve").value()] = 1000;
+  view_stats.cardinality[cat_.FindPredicate("vf").value()] = 1000;
+  view_stats.cardinality[cat_.FindPredicate("vj").value()] = 50;
+  ExtentStats base_stats;
+  base_stats.cardinality[cat_.FindPredicate("e").value()] = 1000;
+  base_stats.cardinality[cat_.FindPredicate("f").value()] = 1000;
+
+  PlannerResult res = ChooseBestPlan(q, vs, view_stats, base_stats).value();
+  ASSERT_GE(res.plans.size(), 2u);
+  ASSERT_GE(res.best, 0);
+  // The single-atom vj plan dominates everything.
+  const PlanChoice& best = res.plans[res.best];
+  ASSERT_EQ(best.rewriting.body().size(), 1u);
+  EXPECT_EQ(cat_.pred(best.rewriting.body()[0].pred).name, "vj");
+  EXPECT_TRUE(best.complete);
+}
+
+TEST_F(PlannerTest, FallsBackToDirectWhenNoRewriting) {
+  Query q = Parse("q(X) :- g(X, Y), h(Y).");
+  ViewSet vs = Views("vg(A) :- g(A, B).");  // cannot rewrite
+  ExtentStats base_stats;
+  base_stats.cardinality[cat_.FindPredicate("g").value()] = 10;
+  base_stats.cardinality[cat_.FindPredicate("h").value()] = 10;
+  PlannerResult res = ChooseBestPlan(q, vs, {}, base_stats).value();
+  ASSERT_EQ(res.plans.size(), 1u);  // just the direct plan
+  EXPECT_EQ(res.best, 0);
+  EXPECT_FALSE(res.plans[0].complete);
+}
+
+TEST_F(PlannerTest, DirectPlanCanWinOnStats) {
+  // The view extent is (artificially) bigger than re-joining the bases.
+  Query q = Parse("q(X, Z) :- a(X, Y), b(Y, Z).");
+  ViewSet vs = Views("vab(X, Z) :- a(X, Y), b(Y, Z).");
+  ExtentStats view_stats;
+  view_stats.cardinality[cat_.FindPredicate("vab").value()] = 1'000'000;
+  ExtentStats base_stats;
+  base_stats.cardinality[cat_.FindPredicate("a").value()] = 10;
+  base_stats.cardinality[cat_.FindPredicate("b").value()] = 10;
+  PlannerResult res = ChooseBestPlan(q, vs, view_stats, base_stats).value();
+  ASSERT_GE(res.plans.size(), 2u);
+  EXPECT_FALSE(res.plans[res.best].complete);  // direct plan wins
+}
+
+TEST_F(PlannerTest, NoDirectPlanOption) {
+  Query q = Parse("q(X) :- r(X, Y).");
+  ViewSet vs = Views("v(A, B) :- r(A, B).");
+  PlannerOptions opts;
+  opts.include_direct_plan = false;
+  PlannerResult res = ChooseBestPlan(q, vs, {}, {}, opts).value();
+  ASSERT_EQ(res.plans.size(), 1u);
+  EXPECT_TRUE(res.plans[0].complete);
+}
+
+TEST_F(PlannerTest, EndToEndOnWarehouseScenario) {
+  Scenario s = MakeWarehouseScenario(5, 2000).value();
+  Database extents = MaterializeViews(s.views, s.base).value();
+  PlannerResult res =
+      ChooseBestPlan(s.query, s.views, ExtentStats::FromDatabase(extents),
+                     ExtentStats::FromDatabase(s.base))
+          .value();
+  ASSERT_GE(res.best, 0);
+  const PlanChoice& best = res.plans[res.best];
+  // Execute the winner on the right database and cross-check.
+  Relation direct = EvaluateQuery(s.query, s.base).value();
+  Relation chosen = best.complete
+                        ? EvaluateQuery(best.rewriting, extents).value()
+                        : EvaluateQuery(best.rewriting, s.base).value();
+  EXPECT_TRUE(Relation::SameSet(direct, chosen));
+}
+
+}  // namespace
+}  // namespace aqv

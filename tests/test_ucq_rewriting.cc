@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "cq/parser.h"
+#include "rewriting/ucq_rewriting.h"
+#include "views/expansion.h"
+
+namespace aqv {
+namespace {
+
+class UcqRewritingTest : public ::testing::Test {
+ protected:
+  Catalog cat_;
+  Query Parse(const std::string& s) { return ParseQuery(s, &cat_).value(); }
+
+  ViewSet Views(const std::string& text) {
+    auto r = ViewSet::Parse(text, &cat_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+};
+
+TEST_F(UcqRewritingTest, AllDisjunctsRewritable) {
+  UnionQuery q;
+  q.disjuncts.push_back(Parse("q(X) :- a(X, Y)."));
+  q.disjuncts.push_back(Parse("q(X) :- b(X, Y)."));
+  ViewSet vs = Views("va(A, B) :- a(A, B).\nvb(A, B) :- b(A, B).");
+  UcqRewritingResult res = FindEquivalentUnionRewriting(q, vs).value();
+  ASSERT_TRUE(res.exists);
+  ASSERT_EQ(res.rewritings.size(), 2);
+  // The expanded rewriting union is equivalent to the input union.
+  UnionQuery exp = ExpandUnion(res.rewritings, vs).value();
+  EXPECT_TRUE(UnionIsContainedInUnion(exp, q).value());
+  EXPECT_TRUE(UnionIsContainedInUnion(q, exp).value());
+}
+
+TEST_F(UcqRewritingTest, OneUnrewritableDisjunctKillsIt) {
+  UnionQuery q;
+  q.disjuncts.push_back(Parse("q(X) :- a(X, Y)."));
+  q.disjuncts.push_back(Parse("q(X) :- c(X, Y)."));
+  ViewSet vs = Views("wa(A, B) :- a(A, B).");
+  UcqRewritingResult res = FindEquivalentUnionRewriting(q, vs).value();
+  EXPECT_FALSE(res.exists);
+  EXPECT_TRUE(res.rewritings.empty());
+}
+
+TEST_F(UcqRewritingTest, SubsumedDisjunctDoesNotBlock) {
+  // The second disjunct is contained in the first; minimization drops it,
+  // so its lack of a rewriting must not matter.
+  UnionQuery q;
+  q.disjuncts.push_back(Parse("q(X) :- a(X, Y)."));
+  q.disjuncts.push_back(Parse("q(X) :- a(X, Y), zz(Y)."));
+  ViewSet vs = Views("xa(A, B) :- a(A, B).");
+  UcqRewritingResult res = FindEquivalentUnionRewriting(q, vs).value();
+  ASSERT_TRUE(res.exists);
+  EXPECT_EQ(res.minimized.size(), 1);
+  EXPECT_EQ(res.rewritings.size(), 1);
+}
+
+TEST_F(UcqRewritingTest, EmptyUnionRejected) {
+  UnionQuery q;
+  ViewSet vs;
+  auto res = FindEquivalentUnionRewriting(q, vs);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(UcqRewritingTest, MaximallyContainedUnionMergesAndDedups) {
+  UnionQuery q;
+  q.disjuncts.push_back(Parse("q(X) :- a(X, Y)."));
+  q.disjuncts.push_back(Parse("q(X) :- a(X, Y)."));  // duplicate disjunct
+  ViewSet vs = Views("ya(A, B) :- a(A, B).\nyn(A) :- a(A, B), t(B).");
+  UnionQuery mc = MaximallyContainedUnionRewriting(q, vs).value();
+  // Duplicates collapse; both the exact and the narrower rewriting appear.
+  EXPECT_EQ(mc.size(), 2);
+  UnionQuery exp = ExpandUnion(mc, vs).value();
+  for (const Query& e : exp.disjuncts) {
+    EXPECT_TRUE(IsContainedInUnion(e, q).value()) << e.ToString();
+  }
+}
+
+TEST_F(UcqRewritingTest, MaximallyContainedEmptyWhenNoViewApplies) {
+  UnionQuery q;
+  q.disjuncts.push_back(Parse("q(X) :- zq(X, Y)."));
+  ViewSet vs = Views("za(A, B) :- a(A, B).");
+  UnionQuery mc = MaximallyContainedUnionRewriting(q, vs).value();
+  EXPECT_TRUE(mc.empty());
+}
+
+}  // namespace
+}  // namespace aqv

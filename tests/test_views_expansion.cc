@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "cq/parser.h"
+#include "views/expansion.h"
+#include "views/view.h"
+
+namespace aqv {
+namespace {
+
+class ExpansionTest : public ::testing::Test {
+ protected:
+  Catalog cat_;
+  Query Parse(const std::string& s) { return ParseQuery(s, &cat_).value(); }
+
+  ViewSet Views(const std::string& text) {
+    auto r = ViewSet::Parse(text, &cat_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+};
+
+TEST_F(ExpansionTest, ViewSetParseAndLookup) {
+  ViewSet vs = Views("v1(X) :- r(X, Y).\nv2(X, Y) :- r(X, Y), s(Y).");
+  EXPECT_EQ(vs.size(), 2);
+  EXPECT_NE(vs.FindByName("v1"), nullptr);
+  EXPECT_NE(vs.FindByName("v2"), nullptr);
+  EXPECT_EQ(vs.FindByName("v3"), nullptr);
+  EXPECT_EQ(vs.FindByName("v1")->definition.body().size(), 1u);
+}
+
+TEST_F(ExpansionTest, DuplicateViewNameRejected) {
+  auto r = ViewSet::Parse("v(X) :- r(X, Y).\nv(X) :- s(X).", &cat_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExpansionTest, SelfReferentialViewRejected) {
+  auto r = ViewSet::Parse("w(X) :- r(X, Y), w(Y).", &cat_);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(ExpansionTest, UsesOnlyViews) {
+  ViewSet vs = Views("v1(X) :- r(X, Y).");
+  Query complete = Parse("p(X) :- v1(X).");
+  Query partial = Parse("p2(X) :- v1(X), r(X, X).");
+  EXPECT_TRUE(UsesOnlyViews(complete, vs));
+  EXPECT_FALSE(UsesOnlyViews(partial, vs));
+}
+
+TEST_F(ExpansionTest, BasicUnfoldingFreshensExistentials) {
+  ViewSet vs = Views("v1(X) :- r(X, Y).");
+  Query rw = Parse("p(A, B) :- v1(A), v1(B).");
+  auto e = ExpandRewriting(rw, vs);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  ASSERT_TRUE(e.value().satisfiable);
+  const Query& x = e.value().query;
+  ASSERT_EQ(x.body().size(), 2u);
+  // Both atoms are r; their existential second arguments must differ.
+  EXPECT_NE(x.body()[0].args[1], x.body()[1].args[1]);
+  EXPECT_EQ(cat_.pred(x.body()[0].pred).name, "r");
+}
+
+TEST_F(ExpansionTest, JoinThroughDistinguishedVars) {
+  ViewSet vs = Views("v2(X, Y) :- r(X, Y), s(Y).");
+  Query rw = Parse("p(A, C) :- v2(A, B), v2(B, C).");
+  Query expected =
+      Parse("p(A, C) :- r(A, B), s(B), r(B, C), s(C).");
+  auto e = ExpandRewriting(rw, vs);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e.value().satisfiable);
+  EXPECT_TRUE(AreEquivalent(e.value().query, expected).value());
+}
+
+TEST_F(ExpansionTest, RepeatedHeadVariableForcesUnification) {
+  ViewSet vs = Views("vd(X, X) :- r(X, X).");
+  Query rw = Parse("p(A) :- vd(A, B), s(B).");
+  auto e = ExpandRewriting(rw, vs);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e.value().satisfiable);
+  // A and B are identified: expansion is r(A,A), s(A).
+  Query expected = Parse("p(A) :- r(A, A), s(A).");
+  EXPECT_TRUE(AreEquivalent(e.value().query, expected).value());
+}
+
+TEST_F(ExpansionTest, HeadConstantClashIsUnsatisfiable) {
+  ViewSet vs = Views("vc(X, 3) :- r(X, 3).");
+  Query rw = Parse("p(A) :- vc(A, 4).");
+  auto e = ExpandRewriting(rw, vs);
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e.value().satisfiable);
+}
+
+TEST_F(ExpansionTest, HeadConstantBindsArgument) {
+  ViewSet vs = Views("vc2(X, 3) :- r(X, 3).");
+  Query rw = Parse("p(A, B) :- vc2(A, B), t(B).");
+  auto e = ExpandRewriting(rw, vs);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e.value().satisfiable);
+  // B is forced to 3 everywhere, including the head.
+  Query expected = Parse("p(A, 3) :- r(A, 3), t(3).");
+  EXPECT_TRUE(AreEquivalent(e.value().query, expected).value());
+}
+
+TEST_F(ExpansionTest, PartialRewritingKeepsBaseAtoms) {
+  ViewSet vs = Views("v1b(X) :- r(X, Y).");
+  Query rw = Parse("p(A) :- v1b(A), u(A).");
+  auto e = ExpandRewriting(rw, vs);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e.value().satisfiable);
+  Query expected = Parse("p(A) :- r(A, Y), u(A).");
+  EXPECT_TRUE(AreEquivalent(e.value().query, expected).value());
+}
+
+TEST_F(ExpansionTest, ViewComparisonsCarryIntoExpansion) {
+  ViewSet vs = Views("vlt(X) :- r(X, Y), Y < 5.");
+  Query rw = Parse("p(A) :- vlt(A).");
+  auto e = ExpandRewriting(rw, vs);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e.value().satisfiable);
+  EXPECT_EQ(e.value().query.comparisons().size(), 1u);
+}
+
+TEST_F(ExpansionTest, RewritingComparisonsPreserved) {
+  ViewSet vs = Views("vp(X, Y) :- r(X, Y).");
+  Query rw = Parse("p(A) :- vp(A, B), A < B.");
+  auto e = ExpandRewriting(rw, vs);
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e.value().query.comparisons().size(), 1u);
+}
+
+TEST_F(ExpansionTest, ArityMismatchRejected) {
+  ViewSet vs = Views("vm(X) :- r(X, X).");
+  // Build a bogus atom with wrong arity manually.
+  Query rw(&cat_);
+  VarId a = rw.AddVariable("A");
+  PredId vm = cat_.FindPredicate("vm").value();
+  PredId p = cat_.GetOrAddPredicate("p9", 1, PredKind::kIntensional).value();
+  rw.set_head(Atom(p, {Term::Var(a)}));
+  rw.AddBodyAtom(Atom(vm, {Term::Var(a), Term::Var(a)}));
+  auto e = ExpandRewriting(rw, vs);
+  ASSERT_FALSE(e.ok());
+}
+
+TEST_F(ExpansionTest, ExpandUnionDropsUnsatisfiable) {
+  ViewSet vs = Views("vu(X, 3) :- r(X, 3).\nvw(X) :- s(X).");
+  UnionQuery u;
+  u.disjuncts.push_back(Parse("p(A) :- vu(A, 4)."));  // unsat
+  u.disjuncts.push_back(Parse("p(A) :- vw(A)."));
+  auto e = ExpandUnion(u, vs);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().size(), 1);
+}
+
+TEST_F(ExpansionTest, MinimizeRewritingDropsRedundantViewAtom) {
+  ViewSet vs = Views(
+      "mv1(A, B) :- r(A, B).\n"
+      "mv2(A) :- r(A, B).");
+  // mv2(X) is implied by mv1(X, Y): its expansion adds nothing.
+  Query rw = Parse("p(X, Y) :- mv1(X, Y), mv2(X).");
+  Query m = MinimizeRewriting(rw, vs).value();
+  ASSERT_EQ(m.body().size(), 1u);
+  EXPECT_EQ(cat_.pred(m.body()[0].pred).name, "mv1");
+  // Equivalence of expansions preserved.
+  Query before = ExpandRewriting(rw, vs).value().query;
+  Query after = ExpandRewriting(m, vs).value().query;
+  EXPECT_TRUE(AreEquivalent(before, after).value());
+}
+
+TEST_F(ExpansionTest, MinimizeRewritingKeepsNecessaryAtoms) {
+  ViewSet vs = Views(
+      "nv1(A, B) :- e(A, B).\n"
+      "nv2(B, C) :- f(B, C).");
+  Query rw = Parse("p(X, Z) :- nv1(X, Y), nv2(Y, Z).");
+  Query m = MinimizeRewriting(rw, vs).value();
+  EXPECT_EQ(m.body().size(), 2u);
+}
+
+TEST_F(ExpansionTest, MinimizeRewritingHandlesBaseAtoms) {
+  // Partial rewriting: the base atom must survive (it is not redundant).
+  ViewSet vs = Views("pv(A, B) :- e(A, B).");
+  Query rw = Parse("p(X) :- pv(X, Y), u(Y).");
+  Query m = MinimizeRewriting(rw, vs).value();
+  EXPECT_EQ(m.body().size(), 2u);
+}
+
+TEST_F(ExpansionTest, MinimizeRewritingRejectsUnsatisfiable) {
+  ViewSet vs = Views("uv(A, 3) :- r(A, 3).");
+  Query rw = Parse("p(X) :- uv(X, 4).");
+  auto m = MinimizeRewriting(rw, vs);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExpansionTest, UnfoldingTheoremDirection) {
+  // For any rewriting r over views, each view atom's expansion maps onto
+  // base atoms; a rewriting body of view atoms with all-distinguished views
+  // reproduces the composed query exactly.
+  ViewSet vs = Views("va(X, Y) :- e(X, Y).\nvb(X, Y) :- f(X, Y).");
+  Query rw = Parse("p(A, C) :- va(A, B), vb(B, C).");
+  Query direct = Parse("p(A, C) :- e(A, B), f(B, C).");
+  auto e = ExpandRewriting(rw, vs);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(AreEquivalent(e.value().query, direct).value());
+}
+
+}  // namespace
+}  // namespace aqv
