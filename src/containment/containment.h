@@ -1,3 +1,14 @@
+/// \file
+/// Umbrella header of the `containment` module: the decision procedures all
+/// rewriting search rests on. IsContainedIn decides q1 ⊑ q2 via
+/// Chandra-Merlin containment mappings (homomorphism.h) for comparison-free
+/// CQs and via the complete linearization test (comparison_containment.h)
+/// when comparisons are present; minimize.h computes cores. Invariants:
+/// both queries must share a Catalog; every search is budgeted through
+/// ContainmentOptions so callers stay total (kResourceExhausted, never a
+/// hang) — the problems are NP-complete resp. Π²ₚ-hard, so budgets are load
+/// bearing, not cosmetic.
+
 #ifndef AQV_CONTAINMENT_CONTAINMENT_H_
 #define AQV_CONTAINMENT_CONTAINMENT_H_
 

@@ -1,3 +1,13 @@
+/// \file
+/// Umbrella header of the `cq` module: conjunctive queries (CQs), the value
+/// type every other module manipulates. A Query is a head atom plus a bag of
+/// body atoms over a shared Catalog, optionally extended with built-in
+/// comparisons (<, <=, =, !=). Invariants: every query refers to exactly one
+/// Catalog for predicate names/arities; variables are dense local ids
+/// 0..num_vars()-1; Validate() enforces safety (every head variable occurs
+/// in an ordinary body atom). The module has no dependencies beyond `util`
+/// — containment, rewriting, and evaluation all build on top of it.
+
 #ifndef AQV_CQ_QUERY_H_
 #define AQV_CQ_QUERY_H_
 

@@ -1,3 +1,14 @@
+/// \file
+/// Umbrella header of the `eval` module: executing CQs over concrete data.
+/// Evaluate runs a hash-join pipeline (greedy atom order: most-bound
+/// variables first, then smallest relation) against a Database of
+/// Relations; materialize.h computes view extents, certain.h implements the
+/// two LAV answering routes (union rewriting evaluation and inverse rules +
+/// datalog.h fixpoint with Skolem filtering). Invariants: evaluation never
+/// mutates the database, respects EvalOptions::intermediate_row_cap
+/// (kResourceExhausted past it), and emits deduplicated head tuples in a
+/// deterministic order for a fixed input.
+
 #ifndef AQV_EVAL_EVALUATOR_H_
 #define AQV_EVAL_EVALUATOR_H_
 

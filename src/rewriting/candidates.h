@@ -1,3 +1,14 @@
+/// \file
+/// Umbrella header of the `rewriting` module's shared currency: candidate
+/// view atoms. CanonicalViewTuples computes, for a fixed query Q, every way
+/// a view can contribute to a rewriting of Q (LMSS Lemma: a view is usable
+/// iff there is a mapping from Q-relevant view subgoals into Q). The LMSS
+/// search (lmss.h), Bucket (bucket.h), and MiniCon (minicon.h) all consume
+/// ViewAtomCandidate values. Invariant: candidate atoms live in an extended term
+/// space — var ids below Q.num_vars() are Q's variables, ids at or above it
+/// are candidate-local fresh existentials — and `covered` always lists the
+/// Q body atoms the candidate accounts for.
+
 #ifndef AQV_REWRITING_CANDIDATES_H_
 #define AQV_REWRITING_CANDIDATES_H_
 

@@ -1,3 +1,14 @@
+/// \file
+/// Umbrella header of the `util` module: the error-handling spine of the
+/// library. Status carries a StatusCode plus message; Result<T> is
+/// success-with-value or Status, in the no-exceptions style of database
+/// engines (RocksDB, Arrow). Invariants: no aqv API throws across module
+/// boundaries — every fallible operation returns Status or Result<T>, and
+/// resource-budget overruns surface as kResourceExhausted so callers can
+/// distinguish "too big" from "wrong". Companions: interner.h (string ↔ id
+/// maps for predicate/constant names), rng.h (seeded xoshiro256** for
+/// deterministic workloads).
+
 #ifndef AQV_UTIL_STATUS_H_
 #define AQV_UTIL_STATUS_H_
 

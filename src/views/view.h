@@ -1,3 +1,13 @@
+/// \file
+/// Umbrella header of the `views` module: named materialized views and view
+/// sets. A View is a CQ whose head predicate is the view's name (intensional
+/// in the catalog); a ViewSet indexes the views available to one rewriting
+/// problem by head predicate. Invariants: a view's `pred` equals its
+/// definition's head predicate, all views in a set share the query's
+/// Catalog, and view names are unique within a set. The companion header
+/// `expansion.h` unfolds rewritings over these definitions — the operation
+/// LMSS95 uses to compare a rewriting against the original query.
+
 #ifndef AQV_VIEWS_VIEW_H_
 #define AQV_VIEWS_VIEW_H_
 

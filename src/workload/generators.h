@@ -1,3 +1,13 @@
+/// \file
+/// Umbrella header of the `workload` module: parameterized generators for
+/// the query/view families the benchmarks measure — chain queries and chain
+/// views (figure family F1), star queries (F2), and random CQs with
+/// configurable DistinguishedPolicy head exposure. datagen.h adds random
+/// database instances and scenarios.h packages full LAV problems (schema +
+/// query + views + hidden base data). Invariants: every generator is a pure
+/// function of its spec and the caller's Rng — same seed, same workload —
+/// and generated artifacts always pass their own Validate().
+
 #ifndef AQV_WORKLOAD_GENERATORS_H_
 #define AQV_WORKLOAD_GENERATORS_H_
 
