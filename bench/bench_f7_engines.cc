@@ -1,0 +1,226 @@
+/// F7 — Cross-engine comparison on identical workloads through the unified
+/// RewritingEngine layer: every strategy (lmss, bucket, minicon, ucq) on
+/// the same chain families and LAV scenarios, with the shared
+/// ContainmentOracle on vs. off. Counters surface the oracle's hit rate
+/// and entry count, so the memoization win (and its ceiling) is read
+/// straight off the report.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "containment/oracle.h"
+#include "rewriting/engine.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+#include "workload/registry.h"
+
+namespace aqv {
+namespace {
+
+/// A chain query with random sub-chain views, heap-backed so the Query /
+/// ViewSet catalog pointers stay stable.
+struct ChainWorkload {
+  Catalog catalog;
+  Query query;
+  ViewSet views;
+};
+
+std::unique_ptr<ChainWorkload> MakeChainWorkload(int length, int num_views,
+                                                 uint64_t seed,
+                                                 bool self_join = false) {
+  auto w = std::make_unique<ChainWorkload>();
+  ChainQuerySpec qspec;
+  qspec.length = length;
+  qspec.distinct_predicates = !self_join;
+  w->query = bench::Unwrap(MakeChainQuery(&w->catalog, qspec), "chain query");
+  Rng rng(seed);
+  ChainViewSpec vspec;
+  vspec.chain = qspec;
+  vspec.num_views = num_views;
+  vspec.max_length = 3;
+  // Fully exposed views keep the maximally-contained unions non-empty (the
+  // kEnds default hides interior variables, which on short random view sets
+  // often leaves no complete cover at all).
+  vspec.policy = DistinguishedPolicy::kAll;
+  w->views =
+      bench::Unwrap(MakeChainViews(&w->catalog, &rng, vspec), "chain views");
+
+  // Deterministically re-seed until every query predicate occurs in some
+  // view: an uncovered subgoal short-circuits Bucket/MiniCon to the empty
+  // union, which is not the regime this bench measures.
+  auto covered = [&] {
+    for (const Atom& g : w->query.body()) {
+      bool found = false;
+      for (const View& v : w->views.views()) {
+        for (const Atom& vg : v.definition.body()) {
+          if (vg.pred == g.pred) found = true;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+  uint64_t retry = 0;
+  while (!covered()) {
+    if (++retry > 32) {
+      std::fprintf(stderr,
+                   "bench setup failed: no covering chain-view set within 32 "
+                   "reseeds (length=%d, seed=%llu)\n",
+                   length, static_cast<unsigned long long>(seed));
+      std::abort();
+    }
+    Rng retry_rng(seed + retry);
+    w->views = bench::Unwrap(MakeChainViews(&w->catalog, &retry_rng, vspec),
+                             "chain views");
+  }
+  return w;
+}
+
+void ReportOracle(benchmark::State& state, const ContainmentOracle& oracle) {
+  state.counters["oracle_hit_rate"] = oracle.stats().hit_rate();
+  state.counters["oracle_entries"] = static_cast<double>(oracle.size());
+  state.counters["oracle_lookups"] =
+      static_cast<double>(oracle.stats().lookups());
+}
+
+/// One engine on one chain workload; the oracle (when on) is shared across
+/// iterations, the steady-state regime of a long-running rewriting service.
+void RunChainBench(benchmark::State& state, const std::string& engine,
+                   bool oracle_on, int length, bool self_join = false) {
+  std::unique_ptr<ChainWorkload> w =
+      MakeChainWorkload(length, 2 * length, 42, self_join);
+  ContainmentOracle oracle;
+  RewriteRequest request;
+  request.query.disjuncts.push_back(w->query);
+  request.views = &w->views;
+  if (oracle_on) request.options.oracle = &oracle;
+
+  double rewritings = 0;
+  for (auto _ : state) {
+    RewriteResponse resp;
+    if (!bench::UnwrapOrSkip(RunEngine(engine, request), state, &resp)) {
+      return;
+    }
+    rewritings = static_cast<double>(resp.rewritings.size());
+    benchmark::DoNotOptimize(resp);
+  }
+  state.counters["rewritings"] = rewritings;
+  if (oracle_on) ReportOracle(state, oracle);
+}
+
+/// All four engines back to back on one workload, sharing a single oracle:
+/// measures cross-engine cache reuse (Bucket's checks warming MiniCon's
+/// verification, LMSS minimization feeding the UCQ wrapper, ...).
+void RunSharedOracleBench(benchmark::State& state, int length) {
+  std::unique_ptr<ChainWorkload> w = MakeChainWorkload(length, 8, 43);
+  ContainmentOracle oracle;
+  RewriteRequest request;
+  request.query.disjuncts.push_back(w->query);
+  request.views = &w->views;
+  request.options.oracle = &oracle;
+
+  for (auto _ : state) {
+    for (const std::string& engine : EngineNames()) {
+      RewriteResponse resp;
+      if (!bench::UnwrapOrSkip(RunEngine(engine, request), state, &resp)) {
+        return;
+      }
+      benchmark::DoNotOptimize(resp);
+    }
+  }
+  ReportOracle(state, oracle);
+}
+
+/// Scenario × engine through the registries — the "any scenario drives any
+/// engine by name" hook, measured.
+void RunScenarioBench(benchmark::State& state, const std::string& scenario,
+                      const std::string& engine, bool oracle_on) {
+  Scenario s = bench::Unwrap(MakeScenarioByName(scenario, 7, 100), "scenario");
+  ContainmentOracle oracle;
+  EngineOptions options;
+  if (oracle_on) options.oracle = &oracle;
+
+  for (auto _ : state) {
+    RewriteResponse resp;
+    if (!bench::UnwrapOrSkip(RewriteScenarioWithEngine(s, engine, options),
+                             state, &resp)) {
+      return;
+    }
+    benchmark::DoNotOptimize(resp);
+  }
+  if (oracle_on) ReportOracle(state, oracle);
+}
+
+void RegisterAll() {
+  for (const std::string& engine : EngineNames()) {
+    for (bool oracle_on : {false, true}) {
+      for (int length : {4, 5}) {
+        std::string name = "BM_F7_Chain/" + engine +
+                           (oracle_on ? "/oracle:on" : "/oracle:off") +
+                           "/len:" + std::to_string(length);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [engine, oracle_on, length](benchmark::State& state) {
+              RunChainBench(state, engine, oracle_on, length);
+            })
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+  // Self-join chains: the hard containment family (every hom search is a
+  // real backtrack) — the regime the memoized oracle exists for. LMSS only:
+  // the MCD/bucket candidate spaces explode combinatorially here.
+  for (bool oracle_on : {false, true}) {
+    for (int length : {6, 8}) {
+      std::string name = "BM_F7_SelfJoinChain/lmss" +
+                         std::string(oracle_on ? "/oracle:on" : "/oracle:off") +
+                         "/len:" + std::to_string(length);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [oracle_on, length](benchmark::State& state) {
+            RunChainBench(state, "lmss", oracle_on, length,
+                          /*self_join=*/true);
+          })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  for (int length : {4, 5}) {
+    std::string name =
+        "BM_F7_AllEnginesSharedOracle/len:" + std::to_string(length);
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [length](benchmark::State& state) {
+                                   RunSharedOracleBench(state, length);
+                                 })
+        ->Unit(benchmark::kMicrosecond);
+  }
+  for (const std::string& scenario : ScenarioNames()) {
+    for (const std::string& engine : EngineNames()) {
+      for (bool oracle_on : {false, true}) {
+        std::string name = "BM_F7_Scenario/" + scenario + "/" + engine +
+                           (oracle_on ? "/oracle:on" : "/oracle:off");
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [scenario, engine, oracle_on](benchmark::State& state) {
+              RunScenarioBench(state, scenario, engine, oracle_on);
+            })
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aqv
+
+int main(int argc, char** argv) {
+  aqv::bench::Banner("F7", "cross-engine comparison via the unified engine "
+                           "layer (oracle on/off)");
+  aqv::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include "containment/comparison_containment.h"
 #include "containment/homomorphism.h"
+#include "containment/oracle.h"
 
 namespace aqv {
 
@@ -23,6 +24,9 @@ bool AnyComparisons(const Query& a, const UnionQuery& u) {
 
 Result<bool> IsContainedIn(const Query& sub, const Query& super,
                            const ContainmentOptions& options) {
+  if (options.oracle != nullptr) {
+    return options.oracle->IsContainedIn(sub, super, options);
+  }
   if (!AnyComparisons(sub, super)) {
     HomSearchOptions hopts;
     hopts.node_budget = options.node_budget;

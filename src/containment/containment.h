@@ -20,6 +20,8 @@
 
 namespace aqv {
 
+class ContainmentOracle;
+
 /// Options threaded through every containment decision.
 struct ContainmentOptions {
   /// Backtracking budget per homomorphism search.
@@ -28,6 +30,10 @@ struct ContainmentOptions {
   /// test (see comparison_containment.h). The test is Π²ₚ-hard in general;
   /// the cap keeps callers total.
   uint64_t linearization_cap = 200'000;
+  /// When non-null, IsContainedIn (and everything built on it) routes
+  /// through this memoizing cache (see oracle.h). Not owned; the caller
+  /// keeps it alive for the duration of the pipeline that shares it.
+  ContainmentOracle* oracle = nullptr;
 };
 
 /// \brief Decides `sub ⊑ super`: every answer of `sub` is an answer of

@@ -1,6 +1,7 @@
 #include "containment/homomorphism.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace aqv {
@@ -11,8 +12,12 @@ namespace {
 class HomSearch {
  public:
   HomSearch(const Query& from, const Query& to, const HomSearchOptions& opts,
-            const std::function<bool(const Substitution&)>& cb)
-      : from_(from), to_(to), opts_(opts), cb_(cb), subst_(from.num_vars()) {
+            std::function<bool(const Substitution&)> cb)
+      : from_(from),
+        to_(to),
+        opts_(opts),
+        cb_(std::move(cb)),
+        subst_(from.num_vars()) {
     // Index target atoms by predicate for candidate generation.
     by_pred_.resize(to.catalog()->num_predicates());
     for (int i = 0; i < static_cast<int>(to_.body().size()); ++i) {
@@ -143,7 +148,10 @@ class HomSearch {
   const Query& from_;
   const Query& to_;
   const HomSearchOptions& opts_;
-  const std::function<bool(const Substitution&)>& cb_;
+  // By value: callers routinely pass lambdas, which would otherwise bind a
+  // reference to a std::function temporary that dies with the constructor
+  // call (a Release-build stack-use-after-scope, caught by ASan).
+  std::function<bool(const Substitution&)> cb_;
   Substitution subst_;
   std::vector<std::vector<int>> by_pred_;
   std::vector<bool> mapped_;

@@ -1,0 +1,102 @@
+#include "containment/oracle.h"
+
+namespace aqv {
+
+namespace {
+
+uint64_t PairKey(uint64_t sub_fp, uint64_t super_fp) {
+  // Asymmetric combine: (a, b) and (b, a) are distinct directions.
+  uint64_t h = sub_fp * 0x9e3779b97f4a7c15ULL;
+  h ^= super_fp + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+OracleStats operator-(const OracleStats& after, const OracleStats& before) {
+  OracleStats d;
+  d.hits = after.hits - before.hits;
+  d.misses = after.misses - before.misses;
+  d.inserts = after.inserts - before.inserts;
+  d.capacity_rejects = after.capacity_rejects - before.capacity_rejects;
+  d.confirm_failures = after.confirm_failures - before.confirm_failures;
+  return d;
+}
+
+const ContainmentOracle::FormEntry& ContainmentOracle::FormOf(
+    const Query& q, FormEntry* scratch) {
+  // Keyed by the cheap order-sensitive hash of the *raw* query; a verbatim
+  // structural match (operator==, plus catalog identity) is required before
+  // a cached form is reused, so hash collisions cost a recanonicalization,
+  // never a wrong form.
+  uint64_t raw_hash = StructuralHash(q);
+  auto it = forms_.find(raw_hash);
+  if (it != forms_.end()) {
+    for (const std::unique_ptr<FormEntry>& e : it->second) {
+      if (e->raw.catalog() == q.catalog() && e->raw == q) return *e;
+    }
+  }
+  Query form = q.CanonicalForm();
+  uint64_t form_hash = StructuralHash(form);
+  if (form_entries_ >= max_entries_) {
+    // Past the budget: compute without caching (the form cache honours the
+    // same entry budget as the decision cache).
+    *scratch = FormEntry{q, std::move(form), form_hash};
+    return *scratch;
+  }
+  auto entry =
+      std::make_unique<FormEntry>(FormEntry{q, std::move(form), form_hash});
+  const FormEntry& ref = *entry;
+  forms_[raw_hash].push_back(std::move(entry));
+  ++form_entries_;
+  return ref;
+}
+
+Result<bool> ContainmentOracle::IsContainedIn(
+    const Query& sub, const Query& super, const ContainmentOptions& options) {
+  // Entries are heap-allocated, so these references survive each other.
+  FormEntry sub_scratch, super_scratch;
+  const FormEntry& sub_entry = FormOf(sub, &sub_scratch);
+  const FormEntry& super_entry = FormOf(super, &super_scratch);
+  const Query& sub_form = sub_entry.form;
+  const Query& super_form = super_entry.form;
+  uint64_t key = PairKey(sub_entry.form_hash, super_entry.form_hash);
+
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    for (const Entry& e : it->second) {
+      if (e.catalog == sub.catalog() && e.sub_form == sub_form &&
+          e.super_form == super_form) {
+        ++stats_.hits;
+        return e.contained;
+      }
+      ++stats_.confirm_failures;
+    }
+  }
+  ++stats_.misses;
+
+  ContainmentOptions raw = options;
+  raw.oracle = nullptr;
+  Result<bool> decided = aqv::IsContainedIn(sub, super, raw);
+  if (!decided.ok()) return decided;  // errors (budget overruns) not cached
+
+  if (entries_ >= max_entries_) {
+    ++stats_.capacity_rejects;
+  } else {
+    // Copies, not moves: the forms may live in (and stay in) the form cache.
+    Entry e{sub.catalog(), sub_form, super_form, decided.value()};
+    cache_[key].push_back(std::move(e));
+    ++entries_;
+    ++stats_.inserts;
+  }
+  return decided;
+}
+
+void ContainmentOracle::Clear() {
+  cache_.clear();
+  forms_.clear();
+  entries_ = 0;
+  form_entries_ = 0;
+}
+
+}  // namespace aqv

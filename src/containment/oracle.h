@@ -1,0 +1,123 @@
+/// \file
+/// Memoized containment oracle: the shared cache every rewriting engine
+/// routes its IsContainedIn / AreEquivalent calls through. Entries are
+/// keyed by 64-bit structural fingerprints of the (sub, super) canonical
+/// forms and confirmed by exact canonical-form comparison, so a cache hit
+/// is always sound — fingerprint collisions degrade to misses, never to
+/// wrong answers. Wire an oracle into a pipeline by setting
+/// ContainmentOptions::oracle; every call site that threads those options
+/// (minimization, candidate verification, subsumption pruning, the engine
+/// searches) then shares one cache. Not thread-safe: one oracle per
+/// rewriting session.
+
+#ifndef AQV_CONTAINMENT_ORACLE_H_
+#define AQV_CONTAINMENT_ORACLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "containment/containment.h"
+#include "cq/query.h"
+#include "util/status.h"
+
+namespace aqv {
+
+/// Hit/miss/budget counters of one ContainmentOracle.
+struct OracleStats {
+  /// Lookups answered from the cache.
+  uint64_t hits = 0;
+  /// Lookups that fell through to a real containment decision.
+  uint64_t misses = 0;
+  /// Entries added to the cache (misses minus capacity rejections and
+  /// non-OK decisions, which are never cached).
+  uint64_t inserts = 0;
+  /// Results not cached because the entry budget (max_entries) was full.
+  uint64_t capacity_rejects = 0;
+  /// Bucket probes whose fingerprint matched but whose canonical-form
+  /// confirmation failed (true 64-bit collisions or same-key distinct
+  /// pairs) — the soundness guard firing.
+  uint64_t confirm_failures = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    return lookups() == 0 ? 0.0 : static_cast<double>(hits) / lookups();
+  }
+};
+
+/// Counter-wise difference (for per-request deltas of a shared oracle).
+OracleStats operator-(const OracleStats& after, const OracleStats& before);
+
+/// \brief Memoizes containment decisions across a rewriting session.
+///
+/// The key of a (sub, super) pair combines Fingerprint(sub) and
+/// Fingerprint(super); each bucket holds the canonical forms of the pairs
+/// that produced it, so renamings and body reorderings of an already-decided
+/// pair hit without a new homomorphism search. Only OK results are cached —
+/// kResourceExhausted under one budget must stay retryable under another.
+///
+/// Catalogs are identified by pointer: every Catalog whose queries pass
+/// through an oracle must outlive it (or be separated by a Clear()). A
+/// catalog destroyed and reallocated at the same address with different
+/// predicate meanings would otherwise match stale entries.
+class ContainmentOracle {
+ public:
+  /// `max_entries` bounds cache growth; past it, results are still computed
+  /// and returned but no longer cached (capacity_rejects counts them).
+  explicit ContainmentOracle(size_t max_entries = size_t{1} << 20)
+      : max_entries_(max_entries) {}
+
+  /// Memoized `sub ⊑ super`. `options.oracle` is ignored here (the raw
+  /// decision always runs uncached; no recursion). Equivalence and the
+  /// union variants need no oracle entry points: the free functions route
+  /// through here whenever ContainmentOptions::oracle is set.
+  Result<bool> IsContainedIn(const Query& sub, const Query& super,
+                             const ContainmentOptions& options);
+
+  const OracleStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = OracleStats{}; }
+
+  /// Number of cached entries.
+  size_t size() const { return entries_; }
+  size_t max_entries() const { return max_entries_; }
+
+  /// Drops all entries (stats are kept; ResetStats clears those).
+  void Clear();
+
+ private:
+  struct Entry {
+    const Catalog* catalog;
+    Query sub_form;
+    Query super_form;
+    bool contained;
+  };
+
+  struct FormEntry {
+    Query raw;
+    Query form;
+    /// StructuralHash(form), cached so hits pay no re-hash.
+    uint64_t form_hash;
+  };
+
+  /// Canonical form (plus its hash) of `q`, served from the form cache when
+  /// the exact same query (verbatim structural match) was canonicalized
+  /// before — the common case for the fixed outer query and for recurring
+  /// expansions. The returned reference is stable across further FormOf
+  /// calls (entries are heap-allocated); past the entry budget the form is
+  /// computed into `*scratch` instead of cached.
+  const FormEntry& FormOf(const Query& q, FormEntry* scratch);
+
+  std::unordered_map<uint64_t, std::vector<std::unique_ptr<FormEntry>>>
+      forms_;
+  std::unordered_map<uint64_t, std::vector<Entry>> cache_;
+  size_t form_entries_ = 0;
+  size_t entries_ = 0;
+  size_t max_entries_;
+  OracleStats stats_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_CONTAINMENT_ORACLE_H_

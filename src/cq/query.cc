@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <tuple>
+#include <utility>
+
+#include "util/hash.h"
 
 namespace aqv {
 
@@ -145,42 +149,47 @@ void RefineColors(const Query& q, std::vector<uint64_t>* colors) {
   for (const Atom& a : q.body()) {
     for (int i = 0; i < a.arity(); ++i) {
       if (!a.args[i].is_var()) continue;
-      uint64_t h = 0xcbf29ce484222325ULL;
-      auto mix = [&h](uint64_t v) { h = (h ^ v) * 0x100000001b3ULL; };
-      mix(static_cast<uint64_t>(a.pred));
-      mix(static_cast<uint64_t>(i));
-      for (int j = 0; j < a.arity(); ++j) mix(term_color(a.args[j]));
-      contexts[a.args[i].var()].push_back(h);
+      Fnv1a h;
+      h.Mix(static_cast<uint64_t>(a.pred));
+      h.Mix(static_cast<uint64_t>(i));
+      for (int j = 0; j < a.arity(); ++j) h.Mix(term_color(a.args[j]));
+      contexts[a.args[i].var()].push_back(h.hash());
     }
   }
   for (size_t v = 0; v < colors->size(); ++v) {
     std::sort(contexts[v].begin(), contexts[v].end());
-    uint64_t h = (*colors)[v] * 0x9e3779b97f4a7c15ULL;
-    for (uint64_t c : contexts[v]) h = (h ^ c) * 0x100000001b3ULL;
-    (*colors)[v] = h;
+    Fnv1a h((*colors)[v] * 0x9e3779b97f4a7c15ULL);
+    for (uint64_t c : contexts[v]) h.Mix(c);
+    (*colors)[v] = h.hash();
   }
 }
 
-}  // namespace
-
-std::string Query::CanonicalKey() const {
-  // Initial colours: distinguished variables keyed by head position so that
-  // head-permutations are distinguished; existential variables uniform.
-  std::vector<uint64_t> colors(var_names_.size(), 0x2545f4914f6cdd1dULL);
-  for (size_t i = 0; i < head_.args.size(); ++i) {
-    if (head_.args[i].is_var()) {
-      colors[head_.args[i].var()] ^= (i + 1) * 0xff51afd7ed558ccdULL;
+// Colour-refinement variable colours shared by CanonicalKey, CanonicalForm,
+// and Fingerprint. Initial colours: distinguished variables keyed by head
+// position so that head-permutations are distinguished; existential
+// variables uniform; comparison participation feeds colours too.
+std::vector<uint64_t> ComputeVarColors(const Query& q) {
+  std::vector<uint64_t> colors(q.num_vars(), 0x2545f4914f6cdd1dULL);
+  for (size_t i = 0; i < q.head().args.size(); ++i) {
+    if (q.head().args[i].is_var()) {
+      colors[q.head().args[i].var()] ^= (i + 1) * 0xff51afd7ed558ccdULL;
     }
   }
-  // Comparison participation feeds colours too.
-  for (const Comparison& c : comparisons_) {
+  for (const Comparison& c : q.comparisons()) {
     auto mixin = [&](Term t, uint64_t tag) {
       if (t.is_var()) colors[t.var()] ^= tag;
     };
     mixin(c.lhs, 0xc4ceb9fe1a85ec53ULL * (static_cast<uint64_t>(c.op) + 1));
     mixin(c.rhs, 0xb492b66fbe98f273ULL * (static_cast<uint64_t>(c.op) + 1));
   }
-  for (int round = 0; round < 3; ++round) RefineColors(*this, &colors);
+  for (int round = 0; round < 3; ++round) RefineColors(q, &colors);
+  return colors;
+}
+
+}  // namespace
+
+std::string Query::CanonicalKey() const {
+  std::vector<uint64_t> colors = ComputeVarColors(*this);
 
   // Canonical atom strings ordered lexicographically.
   auto term_key = [&](Term t) -> std::string {
@@ -212,6 +221,102 @@ std::string Query::CanonicalKey() const {
   for (const auto& k : cmp_keys) key += ";#" + k;
   return key;
 }
+
+Query Query::CanonicalForm() const {
+  std::vector<uint64_t> colors = ComputeVarColors(*this);
+  auto term_key = [&](Term t) -> std::pair<uint64_t, uint64_t> {
+    if (t.is_const()) return {1, static_cast<uint64_t>(t.constant())};
+    return {0, colors[t.var()]};
+  };
+
+  // Body order: sort indices by (pred, arg keys); exact duplicates collapse
+  // later (set semantics, as in CanonicalKey). Ties between distinct atoms
+  // the colours cannot separate keep input order — deterministic, merely
+  // not canonical across every isomorphism.
+  std::vector<int> order(body_.size());
+  for (size_t i = 0; i < body_.size(); ++i) order[i] = static_cast<int>(i);
+  auto atom_key = [&](int i) {
+    std::vector<std::pair<uint64_t, uint64_t>> k;
+    k.reserve(body_[i].args.size() + 1);
+    k.push_back({0, static_cast<uint64_t>(body_[i].pred)});
+    for (Term t : body_[i].args) k.push_back(term_key(t));
+    return k;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return atom_key(a) < atom_key(b); });
+
+  std::vector<int> cmp_order(comparisons_.size());
+  for (size_t i = 0; i < comparisons_.size(); ++i) {
+    cmp_order[i] = static_cast<int>(i);
+  }
+  auto cmp_key = [&](int i) {
+    const Comparison& c = comparisons_[i];
+    return std::tuple(static_cast<int>(c.op), term_key(c.lhs),
+                      term_key(c.rhs));
+  };
+  std::stable_sort(cmp_order.begin(), cmp_order.end(),
+                   [&](int a, int b) { return cmp_key(a) < cmp_key(b); });
+
+  // Renumber variables by first appearance: head, sorted body, sorted
+  // comparisons. Variables occurring nowhere are dropped.
+  Query out(catalog_);
+  std::vector<VarId> remap(var_names_.size(), -1);
+  auto renumber = [&](Term t) -> Term {
+    if (t.is_const()) return t;
+    if (remap[t.var()] < 0) {
+      remap[t.var()] = out.AddVariable("C" + std::to_string(out.num_vars()));
+    }
+    return Term::Var(remap[t.var()]);
+  };
+  Atom head = head_;
+  for (Term& t : head.args) t = renumber(t);
+  out.set_head(std::move(head));
+  for (int i : order) {
+    Atom a = body_[i];
+    for (Term& t : a.args) t = renumber(t);
+    bool dup = false;
+    for (const Atom& prev : out.body()) {
+      if (prev == a) dup = true;
+    }
+    if (!dup) out.AddBodyAtom(std::move(a));
+  }
+  for (int i : cmp_order) {
+    Comparison c = comparisons_[i];
+    c.lhs = renumber(c.lhs);
+    c.rhs = renumber(c.rhs);
+    out.AddComparison(c);
+  }
+  return out;
+}
+
+uint64_t StructuralHash(const Query& q) {
+  Fnv1a h;
+  auto mix_term = [&](Term t) {
+    if (t.is_const()) {
+      h.Mix(0x517cc1b727220a95ULL);
+      h.Mix(static_cast<uint64_t>(t.constant()));
+    } else {
+      h.Mix(0x2545f4914f6cdd1dULL);
+      h.Mix(static_cast<uint64_t>(t.var()));
+    }
+  };
+  h.Mix(static_cast<uint64_t>(q.head().pred));
+  for (Term t : q.head().args) mix_term(t);
+  h.Mix(q.body().size());
+  for (const Atom& a : q.body()) {
+    h.Mix(static_cast<uint64_t>(a.pred));
+    for (Term t : a.args) mix_term(t);
+  }
+  h.Mix(q.comparisons().size());
+  for (const Comparison& c : q.comparisons()) {
+    h.Mix(static_cast<uint64_t>(c.op));
+    mix_term(c.lhs);
+    mix_term(c.rhs);
+  }
+  return h.hash();
+}
+
+uint64_t Query::Fingerprint() const { return StructuralHash(CanonicalForm()); }
 
 std::string UnionQuery::ToString() const {
   std::string out;

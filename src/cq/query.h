@@ -11,6 +11,7 @@
 #ifndef AQV_CQ_QUERY_H_
 #define AQV_CQ_QUERY_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -89,8 +90,29 @@ class Query {
   /// A renaming-invariant key: two isomorphic queries always map to the same
   /// key; unequal keys imply non-isomorphic. (Collisions between
   /// non-isomorphic queries are possible; callers must confirm with an
-  /// equivalence test before deduplicating.)
+  /// equivalence test before deduplicating.) Retained for diagnostics and
+  /// external tooling; production dedup uses Fingerprint()/CanonicalForm(),
+  /// which share this key's colour-refinement core.
   std::string CanonicalKey() const;
+
+  /// \brief A normalized structural copy: body atoms sorted by a
+  /// color-refinement key, exact duplicate atoms dropped (set semantics),
+  /// variables renumbered densely in order of first appearance across head,
+  /// sorted body, then sorted comparisons. Unused variables are dropped.
+  ///
+  /// Equal canonical forms (operator==) imply the originals are isomorphic
+  /// up to duplicate atoms — in particular equivalent. The converse is
+  /// best-effort: automorphism-rich queries that color refinement cannot
+  /// discriminate may normalize differently, costing only a dedup/cache
+  /// miss, never a wrong answer.
+  Query CanonicalForm() const;
+
+  /// \brief A renaming-invariant 64-bit structural fingerprint: the hash of
+  /// CanonicalForm(). Unequal fingerprints imply non-isomorphic queries;
+  /// equal fingerprints must be confirmed (compare CanonicalForm() for
+  /// isomorphism, fall back to an equivalence test) before deduplicating —
+  /// the contract the rewriting engines' dedupers implement.
+  uint64_t Fingerprint() const;
 
   friend bool operator==(const Query& a, const Query& b) {
     return a.head_ == b.head_ && a.body_ == b.body_ &&
@@ -105,6 +127,12 @@ class Query {
   std::vector<Comparison> comparisons_;
   std::vector<std::string> var_names_;
 };
+
+/// Order- and renaming-*sensitive* 64-bit hash of a query's exact structure
+/// (head, body atoms in order, comparisons in order, variable ids as-is).
+/// Query::Fingerprint() == StructuralHash(CanonicalForm()); callers that
+/// already hold a canonical form use this to avoid re-canonicalizing.
+uint64_t StructuralHash(const Query& q);
 
 /// \brief A union of conjunctive queries with a common head predicate.
 ///

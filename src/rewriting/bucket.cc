@@ -1,11 +1,10 @@
 #include "rewriting/bucket.h"
 
 #include <algorithm>
-#include <set>
-#include <unordered_set>
 
 #include "containment/homomorphism.h"
 #include "cq/substitution.h"
+#include "rewriting/pipeline.h"
 #include "rewriting/two_space_unifier.h"
 #include "views/expansion.h"
 
@@ -17,7 +16,7 @@ namespace {
 void FillBucket(const Query& q, int gi, const ViewSet& views,
                 std::vector<ViewAtomCandidate>* bucket) {
   const Atom& g = q.body()[gi];
-  std::unordered_set<std::string> seen;
+  CandidateDeduper seen;
   for (const View& view : views.views()) {
     const Query& def = view.definition;
     for (const Atom& vg : def.body()) {
@@ -27,8 +26,7 @@ void FillBucket(const Query& q, int gi, const ViewSet& views,
       std::optional<ViewAtomCandidate> cand = MakeCandidateFromUnifier(
           q, view, u, {gi}, /*require_distinguished_exposed=*/true);
       if (!cand.has_value()) continue;
-      std::string key = cand->Key();
-      if (seen.insert(std::move(key)).second) {
+      if (seen.Insert(*cand)) {
         bucket->push_back(std::move(*cand));
       }
     }
@@ -110,7 +108,9 @@ Result<BucketResult> BucketRewrite(const Query& q, const ViewSet& views,
                                    const BucketOptions& options) {
   AQV_RETURN_NOT_OK(q.Validate());
   if (q.body().size() > 64) {
-    return Status::InvalidArgument("bucket algorithm limited to 64 subgoals");
+    return Status::Unimplemented(
+        "bucket algorithm limited to 64 subgoals (covered-set bitmasks); "
+        "query has " + std::to_string(q.body().size()));
   }
   BucketResult result;
   int n = static_cast<int>(q.body().size());
@@ -125,7 +125,7 @@ Result<BucketResult> BucketRewrite(const Query& q, const ViewSet& views,
 
   // Cartesian product over buckets.
   std::vector<int> choice(n, 0);
-  std::unordered_set<std::string> seen_rewritings;
+  QueryDeduper seen_rewritings;
   for (;;) {
     if (++result.combinations_enumerated > options.max_combinations) {
       return Status::ResourceExhausted(
@@ -135,32 +135,29 @@ Result<BucketResult> BucketRewrite(const Query& q, const ViewSet& views,
     // Deduplicate picks by candidate identity (one entry may serve several
     // subgoals).
     std::vector<const ViewAtomCandidate*> picks;
-    std::set<std::string> pick_keys;
+    CandidateDeduper pick_seen;
     for (int i = 0; i < n; ++i) {
       const ViewAtomCandidate* c = &result.buckets[i][choice[i]];
-      if (pick_keys.insert(c->Key()).second) picks.push_back(c);
+      if (pick_seen.Insert(*c)) picks.push_back(c);
     }
     auto try_candidate =
         [&](const std::vector<const ViewAtomCandidate*>& cand_picks)
         -> Result<bool> {
-      std::optional<Query> rewriting = BuildRewriting(
-          q, cand_picks, /*include_comparisons=*/q.has_comparisons());
-      if (!rewriting.has_value()) return false;
+      AQV_ASSIGN_OR_RETURN(
+          ExpansionCheck check,
+          BuildAndVerify(q, views, cand_picks,
+                         /*include_comparisons=*/q.has_comparisons(),
+                         options.require_equivalent ? VerifyLevel::kEquivalent
+                                                    : VerifyLevel::kContained,
+                         options.containment));
+      if (!check.rewriting.has_value()) return false;
       ++result.candidates_checked;
-      AQV_ASSIGN_OR_RETURN(ExpansionResult exp,
-                           ExpandRewriting(*rewriting, views));
-      if (!exp.satisfiable) return false;
-      AQV_ASSIGN_OR_RETURN(bool sub,
-                           IsContainedIn(exp.query, q, options.containment));
-      if (!sub) return false;
-      if (options.require_equivalent) {
-        AQV_ASSIGN_OR_RETURN(
-            bool super, IsContainedIn(q, exp.query, options.containment));
-        if (!super) return false;
-      }
-      std::string key = rewriting->CanonicalKey();
-      if (seen_rewritings.insert(std::move(key)).second) {
-        result.rewritings.disjuncts.push_back(std::move(*rewriting));
+      if (!check.passed) return false;
+      AQV_ASSIGN_OR_RETURN(
+          bool fresh,
+          seen_rewritings.Insert(*check.rewriting, options.containment));
+      if (fresh) {
+        result.rewritings.disjuncts.push_back(std::move(*check.rewriting));
       }
       return true;
     };
@@ -183,9 +180,9 @@ Result<BucketResult> BucketRewrite(const Query& q, const ViewSet& views,
       for (const Substitution& g : enrichments) {
         std::vector<ViewAtomCandidate> enriched = EnrichPicks(q, picks, g);
         std::vector<const ViewAtomCandidate*> eps;
-        std::set<std::string> ekeys;
+        CandidateDeduper ekeys;
         for (const ViewAtomCandidate& e : enriched) {
-          if (ekeys.insert(e.Key()).second) eps.push_back(&e);
+          if (ekeys.Insert(e)) eps.push_back(&e);
         }
         AQV_ASSIGN_OR_RETURN(bool hit, try_candidate(eps));
         (void)hit;

@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <map>
 #include <set>
-#include <unordered_set>
 
 #include "containment/comparison_containment.h"
 #include "containment/homomorphism.h"
 #include "containment/minimize.h"
+#include "rewriting/pipeline.h"
 #include "rewriting/two_space_unifier.h"
+#include "util/hash.h"
 #include "views/expansion.h"
 
 namespace aqv {
@@ -34,34 +35,47 @@ std::string ViewAtomCandidate::ToString(const Query& q) const {
   return out;
 }
 
-std::string ViewAtomCandidate::Key() const {
-  std::string key = std::to_string(atom.pred);
-  for (Term t : atom.args) {
-    key += t.is_var() ? ",v" + std::to_string(t.var())
-                      : ",c" + std::to_string(t.constant());
+namespace {
+
+std::vector<std::pair<VarId, Term>> SortedEqualities(
+    const std::vector<std::pair<VarId, Term>>& eqs) {
+  std::vector<std::pair<VarId, Term>> sorted = eqs;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+uint64_t ViewAtomCandidate::Fingerprint() const {
+  Fnv1a h;
+  h.Mix(static_cast<uint64_t>(atom.pred));
+  for (Term t : atom.args) h.Mix(t.Pack());
+  h.Mix(0x9e3779b97f4a7c15ULL);
+  for (auto [v, t] : SortedEqualities(induced_equalities)) {
+    h.Mix(static_cast<uint64_t>(v));
+    h.Mix(t.Pack());
   }
-  std::vector<std::string> eqs;
-  for (auto [v, t] : induced_equalities) {
-    eqs.push_back(std::to_string(v) + "=" +
-                  (t.is_var() ? "v" + std::to_string(t.var())
-                              : "c" + std::to_string(t.constant())));
-  }
-  std::sort(eqs.begin(), eqs.end());
-  for (const auto& e : eqs) key += ";" + e;
-  key += "|";
-  for (int c : covered) key += std::to_string(c) + ",";
-  return key;
+  h.Mix(0x517cc1b727220a95ULL);
+  for (int c : covered) h.Mix(static_cast<uint64_t>(c));
+  return h.hash();
+}
+
+bool operator==(const ViewAtomCandidate& a, const ViewAtomCandidate& b) {
+  return a.atom == b.atom && a.covered == b.covered &&
+         SortedEqualities(a.induced_equalities) ==
+             SortedEqualities(b.induced_equalities);
 }
 
 Result<std::vector<ViewAtomCandidate>> CanonicalViewTuples(
     const Query& q, const ViewSet& views, const CandidateOptions& options) {
   if (q.body().size() > 64) {
-    return Status::InvalidArgument(
-        "query has more than 64 body atoms; candidate covered-set bitmasks "
-        "cannot represent it");
+    return Status::Unimplemented(
+        "query has " + std::to_string(q.body().size()) +
+        " body atoms; candidate covered-set bitmasks are 64-bit");
   }
   std::vector<ViewAtomCandidate> out;
-  std::unordered_set<std::string> seen;
+  CandidateDeduper seen;
   HomSearchOptions hopts;
   hopts.node_budget = options.node_budget;
   hopts.map_head = false;
@@ -91,8 +105,7 @@ Result<std::vector<ViewAtomCandidate>> CanonicalViewTuples(
       }
       cand.covered.assign(covered.begin(), covered.end());
       for (int i : cand.covered) cand.covered_mask |= uint64_t{1} << i;
-      std::string key = cand.Key();
-      if (seen.insert(std::move(key)).second) {
+      if (seen.Insert(cand)) {
         out.push_back(std::move(cand));
       }
       if (out.size() >= options.max_candidates) {

@@ -53,8 +53,15 @@ struct ViewAtomCandidate {
   /// Human-readable rendering against `q`'s variable names.
   std::string ToString(const Query& q) const;
 
-  /// Dedup key (view pred + args + equalities).
-  std::string Key() const;
+  /// 64-bit dedup fingerprint (view pred + args + equalities + covered set).
+  /// Equal candidates always collide; CandidateDeduper (pipeline.h) confirms
+  /// colliding entries field-wise via operator==.
+  uint64_t Fingerprint() const;
+
+  /// Structural identity: same atom, covered set, and induced-equality set
+  /// (order-insensitive). `view` and `num_fresh` are derived from these.
+  friend bool operator==(const ViewAtomCandidate& a,
+                         const ViewAtomCandidate& b);
 };
 
 /// Options for candidate generation.

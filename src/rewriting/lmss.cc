@@ -1,9 +1,9 @@
 #include "rewriting/lmss.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "containment/minimize.h"
+#include "rewriting/pipeline.h"
 #include "views/expansion.h"
 
 namespace aqv {
@@ -51,23 +51,18 @@ class LmssSearch {
       }
       if (!any_view) return Status::OK();
     }
-    std::optional<Query> rewriting = BuildRewriting(
-        q_, chosen_, /*include_comparisons=*/q_.has_comparisons());
-    if (!rewriting.has_value()) return Status::OK();
-    AQV_ASSIGN_OR_RETURN(ExpansionResult exp,
-                         ExpandRewriting(*rewriting, views_));
-    if (!exp.satisfiable) return Status::OK();
-    // Expansion ⊑ q is the discriminating direction; q ⊑ expansion holds by
-    // construction for canonical view tuples but is cheap to confirm.
-    AQV_ASSIGN_OR_RETURN(bool sub,
-                         IsContainedIn(exp.query, q_, options_.containment));
-    if (!sub) return Status::OK();
-    AQV_ASSIGN_OR_RETURN(bool super,
-                         IsContainedIn(q_, exp.query, options_.containment));
-    if (!super) return Status::OK();
-    std::string key = rewriting->CanonicalKey();
-    if (seen_rewritings_.insert(std::move(key)).second) {
-      result_->rewritings.push_back(std::move(*rewriting));
+    AQV_ASSIGN_OR_RETURN(
+        ExpansionCheck check,
+        BuildAndVerify(q_, views_, chosen_,
+                       /*include_comparisons=*/q_.has_comparisons(),
+                       VerifyLevel::kEquivalent, options_.containment));
+    if (check.rewriting.has_value()) ++result_->candidates_checked;
+    if (!check.passed) return Status::OK();
+    AQV_ASSIGN_OR_RETURN(
+        bool fresh, seen_rewritings_.Insert(*check.rewriting,
+                                            options_.containment));
+    if (fresh) {
+      result_->rewritings.push_back(std::move(*check.rewriting));
       result_->exists = true;
     }
     return Status::OK();
@@ -132,7 +127,7 @@ class LmssSearch {
   int max_atoms_ = 0;
   std::vector<const ViewAtomCandidate*> chosen_;
   std::vector<bool> banned_;
-  std::unordered_set<std::string> seen_rewritings_;
+  QueryDeduper seen_rewritings_;
 };
 
 }  // namespace

@@ -58,8 +58,12 @@ struct LmssResult {
   Query minimized_query;
   /// Size of the candidate pool (view tuples over the canonical database).
   uint64_t num_candidates = 0;
-  /// Number of candidate subsets whose expansion was equivalence-tested.
+  /// Number of candidate subsets enumerated by the search (including
+  /// prefiltered and unbuildable ones; bounded by max_subsets).
   uint64_t subsets_tested = 0;
+  /// Subsets that built a rewriting and reached the expansion-equivalence
+  /// check — the search's dominant cost.
+  uint64_t candidates_checked = 0;
 };
 
 /// \brief The PODS'95 algorithm: decides whether query `q` has an equivalent

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <set>
-#include <unordered_set>
 
+#include "rewriting/pipeline.h"
 #include "rewriting/two_space_unifier.h"
-#include "views/expansion.h"
 
 namespace aqv {
 
@@ -17,8 +16,7 @@ namespace {
 class McdBuilder {
  public:
   McdBuilder(const Query& q, const View& view,
-             std::vector<ViewAtomCandidate>* out,
-             std::unordered_set<std::string>* seen)
+             std::vector<ViewAtomCandidate>* out, CandidateDeduper* seen)
       : q_(q), view_(view), out_(out), seen_(seen) {
     distinguished_ = q.DistinguishedMask();
     var_occ_ = q.VarOccurrences();
@@ -78,8 +76,7 @@ class McdBuilder {
       std::optional<ViewAtomCandidate> cand = MakeCandidateFromUnifier(
           q_, view_, u, covered, /*require_distinguished_exposed=*/true);
       if (!cand.has_value()) return;
-      std::string key = cand->Key();
-      if (seen_->insert(std::move(key)).second) {
+      if (seen_->Insert(*cand)) {
         out_->push_back(std::move(*cand));
       }
       return;
@@ -97,7 +94,7 @@ class McdBuilder {
   const Query& q_;
   const View& view_;
   std::vector<ViewAtomCandidate>* out_;
-  std::unordered_set<std::string>* seen_;
+  CandidateDeduper* seen_;
   std::vector<bool> distinguished_;
   std::vector<std::vector<int>> var_occ_;
   std::vector<bool> head_var_;
@@ -128,21 +125,20 @@ class McdCombiner {
 
  private:
   Status Emit() {
-    std::optional<Query> rewriting =
-        BuildRewriting(q_, chosen_, /*include_comparisons=*/
-                       q_.has_comparisons());
-    if (!rewriting.has_value()) return Status::OK();
-    if (verify_) {
-      AQV_ASSIGN_OR_RETURN(ExpansionResult exp,
-                           ExpandRewriting(*rewriting, views_));
-      if (!exp.satisfiable) return Status::OK();
-      AQV_ASSIGN_OR_RETURN(bool sub,
-                           IsContainedIn(exp.query, q_, options_.containment));
-      if (!sub) return Status::OK();
+    AQV_ASSIGN_OR_RETURN(
+        ExpansionCheck check,
+        BuildAndVerify(q_, views_, chosen_,
+                       /*include_comparisons=*/q_.has_comparisons(),
+                       verify_ ? VerifyLevel::kContained : VerifyLevel::kNone,
+                       options_.containment));
+    if (verify_ && check.rewriting.has_value()) {
+      ++result_->candidates_checked;
     }
-    std::string key = rewriting->CanonicalKey();
-    if (seen_.insert(std::move(key)).second) {
-      result_->rewritings.disjuncts.push_back(std::move(*rewriting));
+    if (!check.passed) return Status::OK();
+    AQV_ASSIGN_OR_RETURN(
+        bool fresh, seen_.Insert(*check.rewriting, options_.containment));
+    if (fresh) {
+      result_->rewritings.disjuncts.push_back(std::move(*check.rewriting));
     }
     return Status::OK();
   }
@@ -175,7 +171,7 @@ class McdCombiner {
   MiniConResult* result_;
   uint64_t full_mask_ = 0;
   std::vector<const ViewAtomCandidate*> chosen_;
-  std::unordered_set<std::string> seen_;
+  QueryDeduper seen_;
 };
 
 }  // namespace
@@ -184,10 +180,12 @@ Result<MiniConResult> MiniConRewrite(const Query& q, const ViewSet& views,
                                      const MiniConOptions& options) {
   AQV_RETURN_NOT_OK(q.Validate());
   if (q.body().size() > 64) {
-    return Status::InvalidArgument("MiniCon limited to 64 subgoals");
+    return Status::Unimplemented(
+        "MiniCon limited to 64 subgoals (covered-set bitmasks); query has " +
+        std::to_string(q.body().size()));
   }
   MiniConResult result;
-  std::unordered_set<std::string> seen;
+  CandidateDeduper seen;
   for (const View& view : views.views()) {
     McdBuilder builder(q, view, &result.mcds, &seen);
     for (int gi = 0; gi < static_cast<int>(q.body().size()); ++gi) {

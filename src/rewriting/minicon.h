@@ -38,6 +38,9 @@ struct MiniConResult {
   UnionQuery rewritings;
   /// Exact-cover combinations enumerated.
   uint64_t combinations_enumerated = 0;
+  /// Complete covers that reached the expansion-containment check (stays 0
+  /// in the check-free mode the MiniCon theorem licenses).
+  uint64_t candidates_checked = 0;
 };
 
 /// \brief The MiniCon algorithm (Pottinger-Halevy): forms MiniCon

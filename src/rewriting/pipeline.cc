@@ -1,0 +1,66 @@
+#include "rewriting/pipeline.h"
+
+#include <utility>
+
+#include "views/expansion.h"
+
+namespace aqv {
+
+Result<bool> QueryDeduper::Insert(const Query& q,
+                                  const ContainmentOptions& options) {
+  Query form = q.CanonicalForm();
+  uint64_t fp = StructuralHash(form);
+  std::vector<Query>& bucket = forms_[fp];
+  for (const Query& stored : bucket) {
+    if (stored == form) return false;  // isomorphic duplicate
+    // Fingerprint collision between distinct forms: only an equivalence
+    // test can tell a hash accident from a genuinely new rewriting.
+    AQV_ASSIGN_OR_RETURN(bool equiv, AreEquivalent(form, stored, options));
+    if (equiv) return false;
+  }
+  bucket.push_back(std::move(form));
+  ++count_;
+  return true;
+}
+
+bool CandidateDeduper::Insert(const ViewAtomCandidate& c) {
+  uint64_t fp = c.Fingerprint();
+  std::vector<ViewAtomCandidate>& bucket = seen_[fp];
+  for (const ViewAtomCandidate& stored : bucket) {
+    if (stored == c) return false;
+  }
+  bucket.push_back(c);
+  ++count_;
+  return true;
+}
+
+Result<ExpansionCheck> BuildAndVerify(
+    const Query& q, const ViewSet& views,
+    const std::vector<const ViewAtomCandidate*>& picks,
+    bool include_comparisons, VerifyLevel level,
+    const ContainmentOptions& options) {
+  ExpansionCheck check;
+  check.rewriting = BuildRewriting(q, picks, include_comparisons);
+  if (!check.rewriting.has_value()) return check;
+  if (level == VerifyLevel::kNone) {
+    check.passed = true;
+    return check;
+  }
+  AQV_ASSIGN_OR_RETURN(ExpansionResult exp,
+                       ExpandRewriting(*check.rewriting, views));
+  check.satisfiable = exp.satisfiable;
+  if (!check.satisfiable) return check;
+  // Expansion ⊑ q is the discriminating direction; q ⊑ expansion usually
+  // holds by construction but is what kEquivalent must confirm.
+  AQV_ASSIGN_OR_RETURN(check.contained, IsContainedIn(exp.query, q, options));
+  if (!check.contained) return check;
+  if (level == VerifyLevel::kContained) {
+    check.passed = true;
+    return check;
+  }
+  AQV_ASSIGN_OR_RETURN(check.equivalent, IsContainedIn(q, exp.query, options));
+  check.passed = check.equivalent;
+  return check;
+}
+
+}  // namespace aqv

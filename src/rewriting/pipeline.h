@@ -1,0 +1,104 @@
+/// \file
+/// Shared pipeline stages of the rewriting engines. LMSS, Bucket, MiniCon,
+/// and the UCQ wrapper used to re-derive three things independently:
+/// canonical dedup of emitted rewritings, dedup of candidate view atoms,
+/// and the build → expand → containment-check verification of a candidate
+/// combination. This header is the single implementation all four engines
+/// now share; every containment call inside it threads ContainmentOptions,
+/// so wiring a ContainmentOracle into those options memoizes the whole
+/// pipeline at once.
+
+#ifndef AQV_REWRITING_PIPELINE_H_
+#define AQV_REWRITING_PIPELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "containment/containment.h"
+#include "cq/query.h"
+#include "rewriting/candidates.h"
+#include "util/status.h"
+#include "views/view.h"
+
+namespace aqv {
+
+/// \brief Fingerprint-keyed dedup of emitted rewritings with
+/// equivalence-confirmed collision handling.
+///
+/// A query is a duplicate when its 64-bit Fingerprint() matches a stored
+/// entry and either the canonical forms are identical (isomorphic — the
+/// common case) or, for a genuine fingerprint collision between distinct
+/// forms, an equivalence test confirms it adds nothing. The equivalence
+/// fallback routes through ContainmentOptions, so it is memoized whenever
+/// an oracle is wired in.
+class QueryDeduper {
+ public:
+  /// Returns true iff `q` was not seen before (and records it).
+  Result<bool> Insert(const Query& q, const ContainmentOptions& options);
+
+  size_t size() const { return count_; }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<Query>> forms_;
+  size_t count_ = 0;
+};
+
+/// \brief Exact structural dedup of ViewAtomCandidate values keyed by their
+/// 64-bit Fingerprint(). Colliding entries are compared field-wise
+/// (operator==), so the dedup is sound without any containment test —
+/// candidates are syntactic objects, not queries.
+class CandidateDeduper {
+ public:
+  /// Returns true iff `c` was not seen before (and records it).
+  bool Insert(const ViewAtomCandidate& c);
+
+  size_t size() const { return count_; }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<ViewAtomCandidate>> seen_;
+  size_t count_ = 0;
+};
+
+/// How much of the expansion-containment verification a caller needs.
+enum class VerifyLevel {
+  /// Build the rewriting only (MiniCon's check-free combination: the MCD
+  /// theorem makes verification unnecessary for comparison-free inputs).
+  kNone,
+  /// Expansion satisfiable and contained in q (maximally-contained mode).
+  kContained,
+  /// Contained and containing: expansion ≡ q (the LMSS equivalent-rewriting
+  /// notion).
+  kEquivalent,
+};
+
+/// Outcome of building a candidate combination and verifying its expansion.
+struct ExpansionCheck {
+  /// The assembled rewriting; nullopt when the combination is unbuildable
+  /// (induced-equality constant clash or unsafe head).
+  std::optional<Query> rewriting;
+  /// Built, and the requested VerifyLevel held — the caller's accept flag.
+  bool passed = false;
+  /// Expansion satisfiable (no head-unification constant clash).
+  bool satisfiable = false;
+  /// expansion ⊑ q held (computed for kContained and kEquivalent).
+  bool contained = false;
+  /// q ⊑ expansion held too (computed for kEquivalent only).
+  bool equivalent = false;
+};
+
+/// \brief The verification stage shared by every engine: BuildRewriting on
+/// `picks`, ExpandRewriting over `views`, then the containment checks
+/// `level` asks for. Checks short-circuit: an unsatisfiable expansion or a
+/// failed ⊑ skips the rest.
+Result<ExpansionCheck> BuildAndVerify(
+    const Query& q, const ViewSet& views,
+    const std::vector<const ViewAtomCandidate*>& picks,
+    bool include_comparisons, VerifyLevel level,
+    const ContainmentOptions& options);
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITING_PIPELINE_H_

@@ -1,8 +1,7 @@
 #include "rewriting/ucq_rewriting.h"
 
-#include <unordered_set>
-
 #include "containment/minimize.h"
+#include "rewriting/pipeline.h"
 
 namespace aqv {
 
@@ -20,6 +19,9 @@ Result<UcqRewritingResult> FindEquivalentUnionRewriting(
     per.max_rewritings = 1;
     AQV_ASSIGN_OR_RETURN(LmssResult r,
                          FindEquivalentRewritings(disjunct, views, per));
+    result.num_candidates += r.num_candidates;
+    result.subsets_tested += r.subsets_tested;
+    result.candidates_checked += r.candidates_checked;
     if (!r.exists) {
       result.exists = false;
       result.rewritings.disjuncts.clear();
@@ -33,13 +35,13 @@ Result<UcqRewritingResult> FindEquivalentUnionRewriting(
 Result<UnionQuery> MaximallyContainedUnionRewriting(
     const UnionQuery& q, const ViewSet& views, const MiniConOptions& options) {
   UnionQuery out;
-  std::unordered_set<std::string> seen;
+  QueryDeduper seen;
   for (const Query& disjunct : q.disjuncts) {
     AQV_ASSIGN_OR_RETURN(MiniConResult r,
                          MiniConRewrite(disjunct, views, options));
     for (Query& rw : r.rewritings.disjuncts) {
-      std::string key = rw.CanonicalKey();
-      if (seen.insert(std::move(key)).second) {
+      AQV_ASSIGN_OR_RETURN(bool fresh, seen.Insert(rw, options.containment));
+      if (fresh) {
         out.disjuncts.push_back(std::move(rw));
       }
     }

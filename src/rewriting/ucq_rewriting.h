@@ -19,6 +19,11 @@ struct UcqRewritingResult {
   UnionQuery rewritings;
   /// The minimized input union the per-disjunct results refer to.
   UnionQuery minimized;
+  /// Aggregates of the per-disjunct LMSS searches (candidate pool sizes,
+  /// subsets enumerated, expansion-equivalence checks run).
+  uint64_t num_candidates = 0;
+  uint64_t subsets_tested = 0;
+  uint64_t candidates_checked = 0;
 };
 
 /// \brief Equivalent rewriting of a *union* of conjunctive queries.

@@ -18,6 +18,8 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kNotFound:
       return "NotFound";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
   }
   return "Unknown";
 }

@@ -36,6 +36,10 @@ enum class StatusCode : int {
   kInternal = 4,
   /// The requested item does not exist (catalog lookups etc.).
   kNotFound = 5,
+  /// The input is well-formed but outside what the implementation supports
+  /// (e.g. more body atoms than the covered-set bitmask width). Distinct
+  /// from kInvalidArgument: the request is meaningful, just not handled.
+  kUnimplemented = 6,
 };
 
 /// \brief Lightweight success-or-error carrier.
@@ -62,6 +66,9 @@ class Status {
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,29 @@
+#include "workload/registry.h"
+
+namespace aqv {
+
+const std::vector<std::string>& ScenarioNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{"travel", "warehouse", "bibliography"};
+  return *names;
+}
+
+Result<Scenario> MakeScenarioByName(std::string_view name, uint64_t seed,
+                                    int db_size) {
+  if (name == "travel") return MakeTravelScenario(seed, db_size);
+  if (name == "warehouse") return MakeWarehouseScenario(seed, db_size);
+  if (name == "bibliography") return MakeBibliographyScenario(seed, db_size);
+  return Status::NotFound("no scenario named '" + std::string(name) + "'");
+}
+
+Result<RewriteResponse> RewriteScenarioWithEngine(
+    const Scenario& scenario, std::string_view engine_name,
+    const EngineOptions& options) {
+  RewriteRequest request;
+  request.query.disjuncts.push_back(scenario.query);
+  request.views = &scenario.views;
+  request.options = options;
+  return RunEngine(engine_name, request);
+}
+
+}  // namespace aqv

@@ -70,6 +70,47 @@ TEST_F(QueryTest, CanonicalKeySeesComparisons) {
   EXPECT_NE(a.CanonicalKey(), b.CanonicalKey());
 }
 
+TEST_F(QueryTest, FingerprintInvariantUnderRenaming) {
+  Query a = Parse("q(X, Y) :- r(X, Z), s(Z, Y).");
+  Query b = Parse("q(U, V) :- s(W, V), r(U, W).");  // reordered + renamed
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_TRUE(a.CanonicalForm() == b.CanonicalForm());
+}
+
+TEST_F(QueryTest, FingerprintSeparatesHeadPermutation) {
+  // Same head predicate: only the argument order distinguishes them.
+  Query a = Parse("qperm(X, Y) :- r(X, Y).");
+  Query b = Parse("qperm(Y, X) :- r(X, Y).");
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST_F(QueryTest, FingerprintSeparatesStructures) {
+  Query a = Parse("qe(X) :- r(X, Y), r(Y, X).");
+  Query b = Parse("qf(X) :- r(X, Y), r(X, Y).");
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST_F(QueryTest, FingerprintSeesComparisons) {
+  Query a = Parse("qg(X) :- r(X, Y), X < 3.");
+  Query b = Parse("qh(X) :- r(X, Y), Y < 3.");
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST_F(QueryTest, FingerprintMatchesStructuralHashOfCanonicalForm) {
+  Query q = Parse("qi(X) :- r(X, Y), s(Y, Z), Z < 5.");
+  EXPECT_EQ(q.Fingerprint(), StructuralHash(q.CanonicalForm()));
+}
+
+TEST_F(QueryTest, CanonicalFormCollapsesDuplicateAtomsAndUnusedVars) {
+  Query a = Parse("qj(X) :- r(X, Y), r(X, Y).");
+  Query b = Parse("qj(X) :- r(X, Y).");
+  EXPECT_TRUE(a.CanonicalForm() == b.CanonicalForm());
+  Query c = Parse("qk(X) :- r(X, Y), s(Y, Z).");
+  Query form = c.CanonicalForm();
+  EXPECT_TRUE(form.Validate().ok());
+  EXPECT_EQ(form.num_vars(), 3);
+}
+
 TEST_F(QueryTest, ValidateRejectsArityTamper) {
   Query q = Parse("q(X) :- r(X, Y).");
   Query broken = q;

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and merges the per-binary google/benchmark JSON
+# reports into one perf-trajectory artifact (BENCH_PR2.json by default).
+#
+# Usage:
+#   tools/run_bench.sh [BUILD_DIR] [OUTPUT_JSON]
+#
+# Environment knobs (all optional):
+#   AQV_BENCH_MIN_TIME     --benchmark_min_time value (e.g. "0.05" seconds
+#                          or "1x" for one iteration; default: benchmark's).
+#   AQV_BENCH_REPETITIONS  --benchmark_repetitions value (default 1).
+#   AQV_BENCH_FILTER       --benchmark_filter regex applied to every binary.
+#   AQV_BENCH_BINARIES     Space-separated subset of bench binary names
+#                          (default: every bench_* in BUILD_DIR/bench).
+#
+# CI smoke example (reduced work, engine bench only):
+#   AQV_BENCH_MIN_TIME=1x AQV_BENCH_BINARIES=bench_f7_engines \
+#     tools/run_bench.sh build BENCH_PR2.json
+
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUTPUT=${2:-BENCH_PR2.json}
+REPETITIONS=${AQV_BENCH_REPETITIONS:-1}
+MIN_TIME=${AQV_BENCH_MIN_TIME:-}
+FILTER=${AQV_BENCH_FILTER:-}
+
+BENCH_DIR="$BUILD_DIR/bench"
+if [[ ! -d "$BENCH_DIR" ]]; then
+  echo "error: $BENCH_DIR not found; configure with -DAQV_BUILD_BENCH=ON" >&2
+  exit 1
+fi
+
+if [[ -n "${AQV_BENCH_BINARIES:-}" ]]; then
+  BINARIES=()
+  for name in $AQV_BENCH_BINARIES; do
+    BINARIES+=("$BENCH_DIR/$name")
+  done
+else
+  mapfile -t BINARIES < <(find "$BENCH_DIR" -maxdepth 1 -name 'bench_*' \
+    -type f -executable | sort)
+fi
+if [[ ${#BINARIES[@]} -eq 0 ]]; then
+  echo "error: no bench binaries found in $BENCH_DIR" >&2
+  exit 1
+fi
+
+TMP_DIR=$(mktemp -d)
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+FLAGS=(--benchmark_repetitions="$REPETITIONS")
+[[ -n "$MIN_TIME" ]] && FLAGS+=(--benchmark_min_time="$MIN_TIME")
+[[ -n "$FILTER" ]] && FLAGS+=(--benchmark_filter="$FILTER")
+
+for bin in "${BINARIES[@]}"; do
+  name=$(basename "$bin")
+  echo "== running $name =="
+  # Banners go to stdout; the JSON report goes to its own file.
+  "$bin" "${FLAGS[@]}" \
+    --benchmark_out="$TMP_DIR/$name.json" --benchmark_out_format=json
+done
+
+python3 - "$TMP_DIR" "$OUTPUT" <<'PY'
+import json, pathlib, sys
+
+tmp_dir, output = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+merged = {"suites": {}}
+for report in sorted(tmp_dir.glob("*.json")):
+    with report.open() as f:
+        data = json.load(f)
+    merged["suites"][report.stem] = data
+    # One shared context (machine info) is enough at the top level.
+    merged.setdefault("context", data.get("context", {}))
+total = sum(len(s.get("benchmarks", [])) for s in merged["suites"].values())
+merged["num_suites"] = len(merged["suites"])
+merged["num_benchmarks"] = total
+output.write_text(json.dumps(merged, indent=1) + "\n")
+print(f"wrote {output} ({merged['num_suites']} suites, {total} benchmarks)")
+PY
