@@ -11,6 +11,12 @@ uint64_t PairKey(uint64_t sub_fp, uint64_t super_fp) {
   return h;
 }
 
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
 OracleStats operator-(const OracleStats& after, const OracleStats& before) {
@@ -23,6 +29,24 @@ OracleStats operator-(const OracleStats& after, const OracleStats& before) {
   return d;
 }
 
+ContainmentOracle::ContainmentOracle(size_t max_entries, size_t num_shards)
+    : max_entries_(max_entries) {
+  if (num_shards < 1) num_shards = 1;
+  if (num_shards > 256) num_shards = 256;
+  num_shards = RoundUpPow2(num_shards);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Ceil split keeps the total budget ≥ max_entries; with one shard the
+  // budget (and thus capacity behavior) is exactly the unsharded oracle's.
+  per_shard_budget_ = (max_entries + num_shards - 1) / num_shards;
+  shard_mask_ = static_cast<uint64_t>(num_shards - 1);
+  unsigned bits = 0;
+  for (size_t p = num_shards; p > 1; p >>= 1) ++bits;
+  shard_shift_ = bits == 0 ? 0 : 64 - bits;
+}
+
 const ContainmentOracle::FormEntry& ContainmentOracle::FormOf(
     const Query& q, FormEntry* scratch) {
   // Keyed by the cheap order-sensitive hash of the *raw* query; a verbatim
@@ -30,15 +54,31 @@ const ContainmentOracle::FormEntry& ContainmentOracle::FormOf(
   // a cached form is reused, so hash collisions cost a recanonicalization,
   // never a wrong form.
   uint64_t raw_hash = StructuralHash(q);
-  auto it = forms_.find(raw_hash);
-  if (it != forms_.end()) {
+  Shard& shard = ShardFor(raw_hash);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.forms.find(raw_hash);
+    if (it != shard.forms.end()) {
+      for (const std::unique_ptr<FormEntry>& e : it->second) {
+        // Entries are heap-allocated and never evicted before Clear(), so
+        // the reference stays valid after the lock is released.
+        if (e->raw.catalog() == q.catalog() && e->raw == q) return *e;
+      }
+    }
+  }
+  // Canonicalization is the expensive step — run it outside the lock.
+  Query form = q.CanonicalForm();
+  uint64_t form_hash = StructuralHash(form);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Another thread may have inserted the same raw query while we
+  // canonicalized; reuse its entry rather than growing the bucket.
+  auto it = shard.forms.find(raw_hash);
+  if (it != shard.forms.end()) {
     for (const std::unique_ptr<FormEntry>& e : it->second) {
       if (e->raw.catalog() == q.catalog() && e->raw == q) return *e;
     }
   }
-  Query form = q.CanonicalForm();
-  uint64_t form_hash = StructuralHash(form);
-  if (form_entries_ >= max_entries_) {
+  if (shard.form_entries >= per_shard_budget_) {
     // Past the budget: compute without caching (the form cache honours the
     // same entry budget as the decision cache).
     *scratch = FormEntry{q, std::move(form), form_hash};
@@ -47,56 +87,111 @@ const ContainmentOracle::FormEntry& ContainmentOracle::FormOf(
   auto entry =
       std::make_unique<FormEntry>(FormEntry{q, std::move(form), form_hash});
   const FormEntry& ref = *entry;
-  forms_[raw_hash].push_back(std::move(entry));
-  ++form_entries_;
+  shard.forms[raw_hash].push_back(std::move(entry));
+  ++shard.form_entries;
   return ref;
 }
 
 Result<bool> ContainmentOracle::IsContainedIn(
     const Query& sub, const Query& super, const ContainmentOptions& options) {
-  // Entries are heap-allocated, so these references survive each other.
+  // Form entries are heap-allocated, so these references survive each other
+  // and outlive their shard locks.
   FormEntry sub_scratch, super_scratch;
   const FormEntry& sub_entry = FormOf(sub, &sub_scratch);
   const FormEntry& super_entry = FormOf(super, &super_scratch);
   const Query& sub_form = sub_entry.form;
   const Query& super_form = super_entry.form;
   uint64_t key = PairKey(sub_entry.form_hash, super_entry.form_hash);
+  Shard& shard = ShardFor(key);
 
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    for (const Entry& e : it->second) {
-      if (e.catalog == sub.catalog() && e.sub_form == sub_form &&
-          e.super_form == super_form) {
-        ++stats_.hits;
-        return e.contained;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.cache.find(key);
+    if (it != shard.cache.end()) {
+      for (const Entry& e : it->second) {
+        if (e.catalog == sub.catalog() && e.sub_form == sub_form &&
+            e.super_form == super_form) {
+          shard.hits.fetch_add(1, std::memory_order_relaxed);
+          return e.contained;
+        }
+        shard.confirm_failures.fetch_add(1, std::memory_order_relaxed);
       }
-      ++stats_.confirm_failures;
     }
   }
-  ++stats_.misses;
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
 
+  // The raw decision — the NP-hard part — runs with no lock held.
   ContainmentOptions raw = options;
   raw.oracle = nullptr;
   Result<bool> decided = aqv::IsContainedIn(sub, super, raw);
   if (!decided.ok()) return decided;  // errors (budget overruns) not cached
 
-  if (entries_ >= max_entries_) {
-    ++stats_.capacity_rejects;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Re-probe for a concurrent insert of the same pair (confirm_failures is
+  // not re-counted: the pre-compute scan already charged this bucket, and
+  // the single-threaded totals must match the unsharded oracle's exactly).
+  auto it = shard.cache.find(key);
+  if (it != shard.cache.end()) {
+    for (const Entry& e : it->second) {
+      if (e.catalog == sub.catalog() && e.sub_form == sub_form &&
+          e.super_form == super_form) {
+        return decided;  // same pure decision; don't grow the bucket
+      }
+    }
+  }
+  if (shard.entries >= per_shard_budget_) {
+    shard.capacity_rejects.fetch_add(1, std::memory_order_relaxed);
   } else {
     // Copies, not moves: the forms may live in (and stay in) the form cache.
     Entry e{sub.catalog(), sub_form, super_form, decided.value()};
-    cache_[key].push_back(std::move(e));
-    ++entries_;
-    ++stats_.inserts;
+    shard.cache[key].push_back(std::move(e));
+    ++shard.entries;
+    shard.inserts.fetch_add(1, std::memory_order_relaxed);
   }
   return decided;
 }
 
+OracleStats ContainmentOracle::stats() const {
+  OracleStats s;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    s.hits += shard->hits.load(std::memory_order_relaxed);
+    s.misses += shard->misses.load(std::memory_order_relaxed);
+    s.inserts += shard->inserts.load(std::memory_order_relaxed);
+    s.capacity_rejects +=
+        shard->capacity_rejects.load(std::memory_order_relaxed);
+    s.confirm_failures +=
+        shard->confirm_failures.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void ContainmentOracle::ResetStats() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->hits.store(0, std::memory_order_relaxed);
+    shard->misses.store(0, std::memory_order_relaxed);
+    shard->inserts.store(0, std::memory_order_relaxed);
+    shard->capacity_rejects.store(0, std::memory_order_relaxed);
+    shard->confirm_failures.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t ContainmentOracle::size() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries;
+  }
+  return total;
+}
+
 void ContainmentOracle::Clear() {
-  cache_.clear();
-  forms_.clear();
-  entries_ = 0;
-  form_entries_ = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cache.clear();
+    shard->forms.clear();
+    shard->entries = 0;
+    shard->form_entries = 0;
+  }
 }
 
 }  // namespace aqv

@@ -7,15 +7,26 @@
 /// wrong answers. Wire an oracle into a pipeline by setting
 /// ContainmentOptions::oracle; every call site that threads those options
 /// (minimization, candidate verification, subsumption pruning, the engine
-/// searches) then shares one cache. Not thread-safe: one oracle per
-/// rewriting session.
+/// searches) then shares one cache.
+///
+/// Thread safety: the oracle is internally sharded — both the form cache
+/// and the decision cache are sliced by fingerprint across `num_shards`
+/// shards, each guarded by its own mutex and holding its own slice of the
+/// entry budget — so any number of threads may call IsContainedIn on one
+/// shared oracle concurrently (the service layer in src/service/ does
+/// exactly that). Stats counters are relaxed atomics: exact under a
+/// single thread, and never torn (only momentarily inconsistent relative
+/// to each other) under many. Clear() and ResetStats() are the only
+/// exceptions: they must not race concurrent lookups.
 
 #ifndef AQV_CONTAINMENT_ORACLE_H_
 #define AQV_CONTAINMENT_ORACLE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -25,7 +36,8 @@
 
 namespace aqv {
 
-/// Hit/miss/budget counters of one ContainmentOracle.
+/// Hit/miss/budget counters of one ContainmentOracle (a plain-value
+/// snapshot; the live counters inside the oracle are per-shard atomics).
 struct OracleStats {
   /// Lookups answered from the cache.
   uint64_t hits = 0;
@@ -34,7 +46,7 @@ struct OracleStats {
   /// Entries added to the cache (misses minus capacity rejections and
   /// non-OK decisions, which are never cached).
   uint64_t inserts = 0;
-  /// Results not cached because the entry budget (max_entries) was full.
+  /// Results not cached because the shard's entry budget was full.
   uint64_t capacity_rejects = 0;
   /// Bucket probes whose fingerprint matched but whose canonical-form
   /// confirmation failed (true 64-bit collisions or same-key distinct
@@ -50,7 +62,8 @@ struct OracleStats {
 /// Counter-wise difference (for per-request deltas of a shared oracle).
 OracleStats operator-(const OracleStats& after, const OracleStats& before);
 
-/// \brief Memoizes containment decisions across a rewriting session.
+/// \brief Memoizes containment decisions across a rewriting session, safely
+/// shareable across threads.
 ///
 /// The key of a (sub, super) pair combines Fingerprint(sub) and
 /// Fingerprint(super); each bucket holds the canonical forms of the pairs
@@ -58,32 +71,52 @@ OracleStats operator-(const OracleStats& after, const OracleStats& before);
 /// pair hit without a new homomorphism search. Only OK results are cached —
 /// kResourceExhausted under one budget must stay retryable under another.
 ///
+/// Sharding: shard index = key >> (64 - log2(num_shards_rounded_up)), i.e.
+/// the top fingerprint bits slice both caches. With `num_shards == 1` (the
+/// default) behavior — decisions, stats totals, capacity behavior — is
+/// identical to the pre-sharding single-threaded oracle. With N shards the
+/// entry budget is split evenly (ceil(max_entries / N) per shard), so
+/// capacity_rejects can differ across shard counts once a shard fills;
+/// decisions never differ (the cache is pure).
+///
 /// Catalogs are identified by pointer: every Catalog whose queries pass
 /// through an oracle must outlive it (or be separated by a Clear()). A
 /// catalog destroyed and reallocated at the same address with different
 /// predicate meanings would otherwise match stale entries.
 class ContainmentOracle {
  public:
-  /// `max_entries` bounds cache growth; past it, results are still computed
-  /// and returned but no longer cached (capacity_rejects counts them).
-  explicit ContainmentOracle(size_t max_entries = size_t{1} << 20)
-      : max_entries_(max_entries) {}
+  /// `max_entries` bounds total cache growth across all shards; past a
+  /// shard's slice of it, results are still computed and returned but no
+  /// longer cached (capacity_rejects counts them). `num_shards` is clamped
+  /// to [1, 256] and rounded up to a power of two.
+  explicit ContainmentOracle(size_t max_entries = size_t{1} << 20,
+                             size_t num_shards = 1);
+
+  ContainmentOracle(const ContainmentOracle&) = delete;
+  ContainmentOracle& operator=(const ContainmentOracle&) = delete;
 
   /// Memoized `sub ⊑ super`. `options.oracle` is ignored here (the raw
   /// decision always runs uncached; no recursion). Equivalence and the
   /// union variants need no oracle entry points: the free functions route
-  /// through here whenever ContainmentOptions::oracle is set.
+  /// through here whenever ContainmentOptions::oracle is set. Safe to call
+  /// from any number of threads concurrently.
   Result<bool> IsContainedIn(const Query& sub, const Query& super,
                              const ContainmentOptions& options);
 
-  const OracleStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = OracleStats{}; }
+  /// Aggregated snapshot of the per-shard atomic counters. Exact when no
+  /// lookup is in flight; under concurrency each counter is itself exact
+  /// (relaxed atomic), but the snapshot may straddle an in-flight lookup.
+  OracleStats stats() const;
+  /// Zeroes the counters. Must not race concurrent lookups.
+  void ResetStats();
 
-  /// Number of cached entries.
-  size_t size() const { return entries_; }
+  /// Number of cached entries (summed across shards).
+  size_t size() const;
   size_t max_entries() const { return max_entries_; }
+  size_t num_shards() const { return shards_.size(); }
 
-  /// Drops all entries (stats are kept; ResetStats clears those).
+  /// Drops all entries (stats are kept; ResetStats clears those). Must not
+  /// race concurrent lookups: FormOf references handed out earlier die.
   void Clear();
 
  private:
@@ -101,21 +134,42 @@ class ContainmentOracle {
     uint64_t form_hash;
   };
 
-  /// Canonical form (plus its hash) of `q`, served from the form cache when
-  /// the exact same query (verbatim structural match) was canonicalized
-  /// before — the common case for the fixed outer query and for recurring
-  /// expansions. The returned reference is stable across further FormOf
-  /// calls (entries are heap-allocated); past the entry budget the form is
-  /// computed into `*scratch` instead of cached.
+  /// One lock domain: a slice of the form cache and of the decision cache,
+  /// with its own share of the entry budget. Heap-allocated (the mutex
+  /// pins it) and padded-by-allocation against false sharing.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::vector<std::unique_ptr<FormEntry>>>
+        forms;
+    std::unordered_map<uint64_t, std::vector<Entry>> cache;
+    size_t form_entries = 0;
+    size_t entries = 0;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> capacity_rejects{0};
+    std::atomic<uint64_t> confirm_failures{0};
+  };
+
+  Shard& ShardFor(uint64_t key) const {
+    // Top bits: the fingerprints are well-mixed 64-bit hashes, and the
+    // low bits already pick the unordered_map bucket inside the shard.
+    return *shards_[(key >> shard_shift_) & shard_mask_];
+  }
+
+  /// Canonical form (plus its hash) of `q`, served from the sharded form
+  /// cache when the exact same query (verbatim structural match) was
+  /// canonicalized before — the common case for the fixed outer query and
+  /// for recurring expansions. The returned reference is stable until
+  /// Clear() (entries are heap-allocated and never evicted); past the
+  /// shard's entry budget the form is computed into `*scratch` instead.
   const FormEntry& FormOf(const Query& q, FormEntry* scratch);
 
-  std::unordered_map<uint64_t, std::vector<std::unique_ptr<FormEntry>>>
-      forms_;
-  std::unordered_map<uint64_t, std::vector<Entry>> cache_;
-  size_t form_entries_ = 0;
-  size_t entries_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
   size_t max_entries_;
-  OracleStats stats_;
+  size_t per_shard_budget_;
+  uint64_t shard_mask_;
+  unsigned shard_shift_;
 };
 
 }  // namespace aqv

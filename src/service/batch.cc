@@ -1,0 +1,26 @@
+#include "service/batch.h"
+
+#include <cassert>
+
+namespace aqv {
+
+std::vector<ServiceRequest> ToServiceRequests(
+    const ScenarioRequestBatch& batch) {
+  // The parallel-array invariant is documented on ScenarioRequestBatch but
+  // not enforced by the type; don't read past a hand-built shorter array.
+  assert(batch.engines.size() == batch.requests.size());
+  size_t n = batch.engines.size() < batch.requests.size()
+                 ? batch.engines.size()
+                 : batch.requests.size();
+  std::vector<ServiceRequest> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ServiceRequest sr;
+    sr.engine = batch.engines[i];
+    sr.request = batch.requests[i];
+    out.push_back(std::move(sr));
+  }
+  return out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,29 @@
+/// \file
+/// Bridge between the workload layer's scenario-batch synthesizer
+/// (workload/registry.h: MakeBatchFromScenarios) and the service layer:
+/// converts a ScenarioRequestBatch — plain (engine, RewriteRequest) pairs
+/// with the owning Scenario objects alongside — into the ServiceRequest
+/// vector RewriteService::RewriteBatch consumes. Lives in `service` (not
+/// `workload`) so the module graph stays acyclic: workload knows nothing
+/// about the service; the service consumes workload batches.
+
+#ifndef AQV_SERVICE_BATCH_H_
+#define AQV_SERVICE_BATCH_H_
+
+#include <vector>
+
+#include "service/service.h"
+#include "workload/registry.h"
+
+namespace aqv {
+
+/// Zips a ScenarioRequestBatch's parallel (engines, requests) arrays into
+/// ServiceRequests, preserving order. The batch (specifically its owned
+/// scenarios, whose catalogs and view sets the requests point into) must
+/// outlive every returned request and its in-flight execution.
+std::vector<ServiceRequest> ToServiceRequests(
+    const ScenarioRequestBatch& batch);
+
+}  // namespace aqv
+
+#endif  // AQV_SERVICE_BATCH_H_

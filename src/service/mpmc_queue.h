@@ -1,0 +1,72 @@
+/// \file
+/// A deliberately simple multi-producer multi-consumer queue: one mutex,
+/// one condition variable, one deque. No lock-free cleverness and no work
+/// stealing — the items flowing through it are NP-hard rewriting problems
+/// whose per-item cost dwarfs any queue overhead, so contention on the
+/// queue lock is never the bottleneck (profile before replacing this).
+/// Close() wakes every blocked consumer; Pop() keeps draining queued items
+/// after Close and only then reports shutdown, so no accepted work is lost.
+
+#ifndef AQV_SERVICE_MPMC_QUEUE_H_
+#define AQV_SERVICE_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace aqv {
+
+/// \brief Unbounded blocking MPMC queue. All members are thread-safe.
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Enqueues `item` and wakes one consumer. Returns false (dropping the
+  /// item) if the queue was already closed.
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  /// Returns true with `*out` filled, or false meaning "shut down".
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Rejects future Push calls and wakes all consumers; already-queued
+  /// items are still handed out by Pop.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_SERVICE_MPMC_QUEUE_H_

@@ -1,0 +1,204 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace aqv {
+
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) +
+                                   0.5);
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+RewriteService::RewriteService(ServiceOptions options)
+    : options_(options),
+      oracle_(options.oracle_max_entries, options.oracle_shards),
+      start_(std::chrono::steady_clock::now()) {
+  int workers = options_.num_workers;
+  if (workers <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    workers = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RewriteService::~RewriteService() {
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    shutting_down_ = true;
+  }
+  queue_.Close();  // workers drain queued jobs, then exit
+  for (std::thread& t : workers_) t.join();
+}
+
+void RewriteService::WorkerLoop() {
+  Job job;
+  while (queue_.Pop(&job)) {
+    ServiceResponse resp = Execute(job);
+    if (resp.status.ok()) {
+      completed_ok_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      completed_failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(results_mu_);
+      pending_.erase(job.ticket);
+      done_.emplace(job.ticket, std::move(resp));
+    }
+    result_ready_.notify_all();
+  }
+}
+
+ServiceResponse RewriteService::Execute(Job& job) {
+  ServiceResponse resp;
+  resp.ticket = job.ticket;
+  resp.engine = job.request.engine;
+  // The worker owns the job outright, so wire the oracle in place rather
+  // than deep-copying the request (its whole UCQ) per execution.
+  RewriteRequest& request = job.request.request;
+  if (options_.share_oracle) request.options.oracle = &oracle_;
+  auto t0 = std::chrono::steady_clock::now();
+  Result<RewriteResponse> r = RunEngine(job.request.engine, request);
+  resp.latency_ms = MsBetween(t0, std::chrono::steady_clock::now());
+  if (r.ok()) {
+    resp.response = std::move(r).value();
+  } else {
+    resp.status = r.status();
+  }
+  return resp;
+}
+
+Result<uint64_t> RewriteService::Submit(ServiceRequest request) {
+  Job job;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    if (shutting_down_) {
+      return Status::Internal("RewriteService is shutting down");
+    }
+    job.ticket = next_ticket_++;
+    pending_.insert(job.ticket);
+  }
+  uint64_t ticket = job.ticket;
+  job.request = std::move(request);
+  if (!queue_.Push(std::move(job))) {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    pending_.erase(ticket);
+    return Status::Internal("RewriteService is shutting down");
+  }
+  return ticket;
+}
+
+Result<ServiceResponse> RewriteService::Wait(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(results_mu_);
+  // Also wake when the ticket vanishes entirely (a racing Wait/TryWait on
+  // the same ticket collected it): that must report kNotFound, not hang.
+  result_ready_.wait(lock, [&] {
+    return done_.count(ticket) != 0 || pending_.count(ticket) == 0;
+  });
+  auto it = done_.find(ticket);
+  if (it == done_.end()) {
+    return Status::NotFound("ticket " + std::to_string(ticket) +
+                            " was never issued or was already collected");
+  }
+  ServiceResponse resp = std::move(it->second);
+  done_.erase(it);
+  return resp;
+}
+
+Result<std::optional<ServiceResponse>> RewriteService::TryWait(
+    uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  auto it = done_.find(ticket);
+  if (it == done_.end()) {
+    if (pending_.count(ticket) == 0) {
+      return Status::NotFound("ticket " + std::to_string(ticket) +
+                              " was never issued or was already collected");
+    }
+    return std::optional<ServiceResponse>();  // still in flight
+  }
+  std::optional<ServiceResponse> resp(std::move(it->second));
+  done_.erase(it);
+  return resp;
+}
+
+Result<BatchResult> RewriteService::RewriteBatch(
+    const std::vector<ServiceRequest>& batch) {
+  OracleStats oracle_before = oracle_.stats();
+  auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<uint64_t> tickets;
+  tickets.reserve(batch.size());
+  for (const ServiceRequest& request : batch) {
+    Result<uint64_t> ticket = Submit(request);
+    if (!ticket.ok()) {
+      // Shutdown raced the batch: collect what was accepted, then fail.
+      for (uint64_t t : tickets) (void)Wait(t);
+      return ticket.status();
+    }
+    tickets.push_back(ticket.value());
+  }
+
+  BatchResult out;
+  out.responses.reserve(batch.size());
+  std::vector<double> latencies;
+  latencies.reserve(batch.size());
+  for (uint64_t ticket : tickets) {
+    // Tickets are ours and uncollected, so Wait cannot return kNotFound.
+    AQV_ASSIGN_OR_RETURN(ServiceResponse resp, Wait(ticket));
+    latencies.push_back(resp.latency_ms);
+    if (resp.status.ok()) {
+      ++out.stats.ok;
+    } else {
+      ++out.stats.failed;
+    }
+    out.responses.push_back(std::move(resp));
+  }
+
+  out.stats.requests = batch.size();
+  out.stats.wall_ms = MsBetween(t0, std::chrono::steady_clock::now());
+  if (out.stats.wall_ms > 0.0) {
+    out.stats.throughput_rps =
+        static_cast<double>(batch.size()) / (out.stats.wall_ms / 1000.0);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  out.stats.p50_ms = Percentile(latencies, 0.50);
+  out.stats.p95_ms = Percentile(latencies, 0.95);
+  out.stats.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  out.stats.oracle = oracle_.stats() - oracle_before;
+  out.stats.num_workers = num_workers();
+  out.stats.oracle_shards = oracle_.num_shards();
+  return out;
+}
+
+ServiceStats RewriteService::lifetime_stats() const {
+  ServiceStats s;
+  s.ok = completed_ok_.load(std::memory_order_relaxed);
+  s.failed = completed_failed_.load(std::memory_order_relaxed);
+  s.requests = s.ok + s.failed;
+  s.wall_ms = MsBetween(start_, std::chrono::steady_clock::now());
+  if (s.wall_ms > 0.0) {
+    s.throughput_rps = static_cast<double>(s.requests) / (s.wall_ms / 1000.0);
+  }
+  s.oracle = oracle_.stats();
+  s.num_workers = static_cast<int>(workers_.size());
+  s.oracle_shards = oracle_.num_shards();
+  return s;
+}
+
+}  // namespace aqv

@@ -1,0 +1,186 @@
+/// \file
+/// The concurrent batch-rewriting service: a fixed pool of worker threads
+/// executing RewriteRequests through the unified engine layer
+/// (rewriting/engine.h), all sharing one sharded thread-safe
+/// ContainmentOracle (containment/oracle.h). Per-request latency has a
+/// hard floor — the underlying problems are NP-complete (LMSS95 Thms
+/// 3.1/3.3) — so the service buys throughput, not latency: parallel
+/// execution across requests plus cross-request containment memoization.
+///
+/// Two entry points: RewriteBatch (submit a vector, block for all results
+/// plus aggregate ServiceStats) and the streaming Submit/Wait/TryWait
+/// ticket API. Responses are deterministic: a request's payload never
+/// depends on worker count, shard count, or scheduling, because the
+/// oracle is a pure cache (tests/test_service.cc holds the service to
+/// that). The one non-deterministic surface is per-request
+/// RewriteStats::oracle deltas, which under concurrency include other
+/// workers' traffic — read aggregate oracle numbers from ServiceStats
+/// instead.
+
+#ifndef AQV_SERVICE_SERVICE_H_
+#define AQV_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "containment/oracle.h"
+#include "rewriting/engine.h"
+#include "service/mpmc_queue.h"
+#include "util/status.h"
+
+namespace aqv {
+
+/// Construction-time knobs of a RewriteService.
+struct ServiceOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency() (min 1).
+  int num_workers = 0;
+  /// Shards of the service's shared ContainmentOracle (rounded up to a
+  /// power of two; more shards = less lock contention, same outputs).
+  size_t oracle_shards = 8;
+  /// Total entry budget of the shared oracle, split across shards.
+  size_t oracle_max_entries = size_t{1} << 20;
+  /// When true (default), every request's EngineOptions::oracle is
+  /// overwritten with the service's shared oracle. When false, requests
+  /// run with whatever oracle (or none) the caller set — caller-provided
+  /// oracles are themselves sharded/thread-safe, so sharing one across
+  /// in-flight requests is allowed.
+  bool share_oracle = true;
+};
+
+/// One unit of service work: which engine, applied to which request. The
+/// request's `views` pointer (and the Catalog behind it) must stay alive
+/// until the response has been collected.
+struct ServiceRequest {
+  /// Engine registry name ("lmss", "bucket", "minicon", "ucq").
+  std::string engine;
+  RewriteRequest request;
+};
+
+/// Outcome of one ServiceRequest.
+struct ServiceResponse {
+  /// The ticket Submit returned (batch positions for RewriteBatch).
+  uint64_t ticket = 0;
+  /// Echo of ServiceRequest::engine.
+  std::string engine;
+  /// Engine-level failure (unknown engine, invalid request, budget
+  /// overrun). `response` is meaningful only when this is OK.
+  Status status;
+  RewriteResponse response;
+  /// Wall time of the engine call itself (queue wait excluded).
+  double latency_ms = 0.0;
+};
+
+/// Aggregate numbers over one batch (RewriteBatch) or over the service's
+/// lifetime (lifetime_stats).
+struct ServiceStats {
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  /// Batch: submit→last-response wall time. Lifetime: since construction.
+  double wall_ms = 0.0;
+  /// requests / wall seconds.
+  double throughput_rps = 0.0;
+  /// Percentiles of per-request engine latency (batch only; zero for
+  /// lifetime stats, which do not retain per-request samples).
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+  /// Shared-oracle counters: the batch's delta, or lifetime totals.
+  OracleStats oracle;
+  int num_workers = 0;
+  size_t oracle_shards = 0;
+};
+
+/// A batch's responses (in submission order) plus its aggregate stats.
+struct BatchResult {
+  std::vector<ServiceResponse> responses;
+  ServiceStats stats;
+};
+
+/// \brief Fixed-pool concurrent rewriting service over the engine registry.
+///
+/// Thread safety: all public members may be called from any thread.
+/// Shutdown: the destructor drains already-submitted work, then joins the
+/// workers — it never abandons an accepted ticket, so a Wait in another
+/// thread cannot be left hanging (but do collect outstanding tickets
+/// before destroying the service if you care about their results).
+class RewriteService {
+ public:
+  explicit RewriteService(ServiceOptions options = {});
+  ~RewriteService();
+
+  RewriteService(const RewriteService&) = delete;
+  RewriteService& operator=(const RewriteService&) = delete;
+
+  /// Executes `batch` across the pool; blocks until every response is in.
+  /// responses[i] corresponds to batch[i]. Engine-level failures are
+  /// per-response (`responses[i].status`); the call itself only fails if
+  /// the service is shutting down.
+  Result<BatchResult> RewriteBatch(const std::vector<ServiceRequest>& batch);
+
+  /// Streaming half: enqueue one request, get a ticket for Wait/TryWait.
+  /// Returns kFailedPrecondition-style Internal error if shutting down.
+  /// Every ticket must eventually be collected: an uncollected response is
+  /// retained (full RewriteResponse payload) until the service dies, so
+  /// fire-and-forget submission leaks memory for the service's lifetime.
+  Result<uint64_t> Submit(ServiceRequest request);
+
+  /// Blocks until the ticket's response is ready, then hands it over
+  /// (each ticket can be collected exactly once). kNotFound for tickets
+  /// never issued or already collected.
+  Result<ServiceResponse> Wait(uint64_t ticket);
+
+  /// Non-blocking poll: the response if ready (collecting it), nullopt if
+  /// still in flight. kNotFound as for Wait.
+  Result<std::optional<ServiceResponse>> TryWait(uint64_t ticket);
+
+  /// Totals since construction (percentiles zero; see ServiceStats).
+  ServiceStats lifetime_stats() const;
+
+  /// The shared sharded oracle (always constructed; unused per-request
+  /// when options.share_oracle is false).
+  ContainmentOracle& oracle() { return oracle_; }
+  const ServiceOptions& options() const { return options_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Job {
+    uint64_t ticket = 0;
+    ServiceRequest request;
+  };
+
+  void WorkerLoop();
+  ServiceResponse Execute(Job& job);
+
+  ServiceOptions options_;
+  ContainmentOracle oracle_;
+  MpmcQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex results_mu_;
+  std::condition_variable result_ready_;
+  /// Tickets issued but not yet collected; a ticket is in `pending_` from
+  /// Submit until its response lands in `done_`.
+  std::unordered_set<uint64_t> pending_;
+  std::unordered_map<uint64_t, ServiceResponse> done_;
+  uint64_t next_ticket_ = 1;
+  bool shutting_down_ = false;
+
+  std::atomic<uint64_t> completed_ok_{0};
+  std::atomic<uint64_t> completed_failed_{0};
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_SERVICE_SERVICE_H_

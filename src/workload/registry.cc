@@ -26,4 +26,46 @@ Result<RewriteResponse> RewriteScenarioWithEngine(
   return RunEngine(engine_name, request);
 }
 
+Result<ScenarioRequestBatch> MakeBatchFromScenarios(
+    const std::vector<std::string>& scenario_names,
+    const std::vector<std::string>& engine_names, int repeats, uint64_t seed,
+    int db_size) {
+  if (scenario_names.empty()) {
+    return Status::InvalidArgument("MakeBatchFromScenarios: no scenarios");
+  }
+  if (engine_names.empty()) {
+    return Status::InvalidArgument("MakeBatchFromScenarios: no engines");
+  }
+  if (repeats < 1) {
+    return Status::InvalidArgument("MakeBatchFromScenarios: repeats < 1");
+  }
+  // Fail on unknown engine names up front, not per-request mid-batch.
+  for (const std::string& engine : engine_names) {
+    AQV_RETURN_NOT_OK(MakeEngine(engine).status());
+  }
+
+  ScenarioRequestBatch batch;
+  for (const std::string& scenario_name : scenario_names) {
+    for (int rep = 0; rep < repeats; ++rep) {
+      AQV_ASSIGN_OR_RETURN(
+          Scenario scenario,
+          MakeScenarioByName(scenario_name, seed + static_cast<uint64_t>(rep),
+                             db_size));
+      batch.scenarios.push_back(
+          std::make_unique<Scenario>(std::move(scenario)));
+      const Scenario& owned = *batch.scenarios.back();
+      for (const std::string& engine : engine_names) {
+        RewriteRequest request;
+        request.query.disjuncts.push_back(owned.query);
+        request.views = &owned.views;
+        batch.engines.push_back(engine);
+        batch.requests.push_back(std::move(request));
+        batch.labels.push_back(scenario_name + "/" + engine +
+                               "/rep:" + std::to_string(rep));
+      }
+    }
+  }
+  return batch;
+}
+
 }  // namespace aqv

@@ -10,6 +10,7 @@
 #define AQV_WORKLOAD_REGISTRY_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +37,41 @@ Result<Scenario> MakeScenarioByName(std::string_view name, uint64_t seed,
 Result<RewriteResponse> RewriteScenarioWithEngine(const Scenario& scenario,
                                                   std::string_view engine_name,
                                                   const EngineOptions& options);
+
+/// \brief A synthesized mixed-scenario request batch: the workload-side
+/// input of the service layer (src/service/ converts it to ServiceRequests
+/// via ToServiceRequests and feeds RewriteService::RewriteBatch).
+///
+/// `engines`, `requests`, and `labels` are parallel arrays — one entry per
+/// batch item. Every request's `views` pointer aims into an element of
+/// `scenarios`, which therefore owns the batch's lifetime: keep the whole
+/// struct alive (it is move-only, never reallocating the scenarios) until
+/// every response has been collected.
+struct ScenarioRequestBatch {
+  std::vector<std::unique_ptr<Scenario>> scenarios;
+  std::vector<std::string> engines;
+  std::vector<RewriteRequest> requests;
+  /// "scenario/engine/rep:N" — for logs, bench counters, and assertions.
+  std::vector<std::string> labels;
+
+  size_t size() const { return requests.size(); }
+};
+
+/// \brief Synthesizes the cross product scenario_names × engine_names ×
+/// repeats into one mixed batch, the workload shape of a rewriting service
+/// fronting one view catalog for many concurrent queries.
+///
+/// Each (scenario, repeat) pair gets its own Scenario instance built with
+/// seed `seed + repeat` — repeats are fresh problem instances over the
+/// same schema shape, not verbatim duplicates — and all engines of one
+/// (scenario, repeat) share that instance. Requests carry default
+/// EngineOptions (no oracle); the service wires its shared oracle in.
+/// Empty name lists or repeats < 1 yield kInvalidArgument; unknown names
+/// propagate kNotFound from the underlying registries.
+Result<ScenarioRequestBatch> MakeBatchFromScenarios(
+    const std::vector<std::string>& scenario_names,
+    const std::vector<std::string>& engine_names, int repeats, uint64_t seed,
+    int db_size);
 
 }  // namespace aqv
 
