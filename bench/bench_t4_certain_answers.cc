@@ -52,7 +52,7 @@ void BM_T4_MiniConRoute(benchmark::State& state) {
       continue;
     }
     Relation r = bench::Unwrap(
-        EvaluateRewritingUnion(mc.rewritings, setup.extents), "eval");
+        EvaluateRewritingUnion(setup.scenario.query, mc.rewritings, setup.extents), "eval");
     answers = r.size();
     benchmark::DoNotOptimize(r);
   }
@@ -90,7 +90,7 @@ void BM_T4_Agreement(benchmark::State& state) {
       continue;
     }
     Relation via_mc = bench::Unwrap(
-        EvaluateRewritingUnion(mc.rewritings, setup.extents), "mc eval");
+        EvaluateRewritingUnion(setup.scenario.query, mc.rewritings, setup.extents), "mc eval");
     agree = Relation::SameSet(via_mc, via_ir) ? 1.0 : 0.0;
     benchmark::DoNotOptimize(via_mc);
   }

@@ -49,7 +49,7 @@ int main() {
   for (const Query& rw : mc.rewritings.disjuncts) {
     std::printf("  %s\n", rw.ToString().c_str());
   }
-  Relation mc_ans = EvaluateRewritingUnion(mc.rewritings, extents).value();
+  Relation mc_ans = EvaluateRewritingUnion(query, mc.rewritings, extents).value();
   std::printf("certain answers (MiniCon route):\n%s",
               mc_ans.ToString(catalog).c_str());
 

@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
   }
   if (!mc.rewritings.empty()) {
     Relation certain =
-        EvaluateRewritingUnion(mc.rewritings, reduced_extents).value();
+        EvaluateRewritingUnion(s.query, mc.rewritings, reduced_extents).value();
     size_t sound = 0;
     for (auto& row : certain.Rows()) {
       sound += direct.Contains(row) ? 1 : 0;

@@ -16,9 +16,17 @@ namespace aqv {
 /// extents. Under sound-view (open-world) semantics, the result is the set
 /// of certain answers when the union is maximally contained — the standard
 /// LAV answering pipeline fed by Bucket/MiniCon output.
-Result<Relation> EvaluateRewritingUnion(const UnionQuery& rewritings,
+///
+/// `q` is the original query the union rewrites: it types the result
+/// (head predicate and arity), so an *empty* union — no contained
+/// rewriting, hence no derivable certain answers — evaluates to a
+/// correctly-typed empty relation instead of an error. Non-empty unions
+/// must match q's head arity (kInvalidArgument otherwise).
+Result<Relation> EvaluateRewritingUnion(const Query& q,
+                                        const UnionQuery& rewritings,
                                         const Database& view_extents,
-                                        const EvalOptions& options = {});
+                                        const EvalOptions& options = {},
+                                        EvalStats* stats = nullptr);
 
 /// \brief Certain answers via the inverse-rules route: reconstruct base
 /// facts with Skolem placeholders, evaluate `q` on them, drop every answer
@@ -26,7 +34,17 @@ Result<Relation> EvaluateRewritingUnion(const UnionQuery& rewritings,
 Result<Relation> CertainAnswersViaInverseRules(const Query& q,
                                                const InverseRuleSet& rules,
                                                const Database& view_extents,
-                                               const EvalOptions& options = {});
+                                               const EvalOptions& options = {},
+                                               EvalStats* stats = nullptr);
+
+/// Union-query variant (Duschka-Genesereth generalizes disjunct-wise: the
+/// certain answers of a UCQ over sound views are its answers over the
+/// Skolem-reconstructed base facts, minus Skolem-carrying rows).
+Result<Relation> CertainAnswersViaInverseRules(const UnionQuery& q,
+                                               const InverseRuleSet& rules,
+                                               const Database& view_extents,
+                                               const EvalOptions& options = {},
+                                               EvalStats* stats = nullptr);
 
 /// Options for the brute-force possible-world enumerator.
 struct WorldEnumOptions {

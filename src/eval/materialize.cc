@@ -3,13 +3,27 @@
 namespace aqv {
 
 Result<Database> MaterializeViews(const ViewSet& views, const Database& base,
-                                  const EvalOptions& options) {
+                                  const EvalOptions& options,
+                                  EvalStats* stats) {
   Database out(base.catalog());
   for (const View& view : views.views()) {
-    AQV_ASSIGN_OR_RETURN(Relation extent,
-                         EvaluateQuery(view.definition, base, options));
+    AQV_ASSIGN_OR_RETURN(
+        Relation extent, EvaluateQuery(view.definition, base, options, stats));
     Relation* dst = out.GetOrCreate(view.pred);
-    *dst = std::move(extent);
+    if (dst->empty()) {
+      // First (or only) rule for this predicate: adopt its extent outright.
+      *dst = std::move(extent);
+      continue;
+    }
+    // Union-source predicate (several rules share one head): the extent is
+    // the union of every rule's output, deduplicated — assignment here used
+    // to clobber the earlier rules' rows.
+    if (extent.arity() == 0) {
+      if (!extent.empty()) dst->Add({});
+      continue;
+    }
+    for (size_t i = 0; i < extent.size(); ++i) dst->AddRow(extent.row(i));
+    dst->SortDedup();
   }
   return out;
 }

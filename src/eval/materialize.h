@@ -12,8 +12,14 @@ namespace aqv {
 /// database holds one relation per view predicate (the view extents) and
 /// nothing else — the only data a LAV mediator or view-answering planner
 /// gets to see.
+///
+/// Union sources (several rules sharing one head predicate, see
+/// ViewSet::AddRule) materialize as the deduplicated union of every rule's
+/// output. `stats`, when non-null, accumulates the evaluation counters of
+/// all view definitions.
 Result<Database> MaterializeViews(const ViewSet& views, const Database& base,
-                                  const EvalOptions& options = {});
+                                  const EvalOptions& options = {},
+                                  EvalStats* stats = nullptr);
 
 }  // namespace aqv
 

@@ -31,10 +31,21 @@ class OracleScope {
   OracleStats before_;
 };
 
-Status RequireSingleton(const RewriteRequest& request, std::string_view name) {
-  if (request.views == nullptr) {
+Status RequireRewritableViews(const ViewSet* views) {
+  if (views == nullptr) {
     return Status::InvalidArgument("RewriteRequest.views is null");
   }
+  if (views->HasUnionSources()) {
+    return Status::Unimplemented(
+        "view set contains union sources (multiple rules per head "
+        "predicate); rewriting engines expand view atoms by a single "
+        "definition and would be unsound here");
+  }
+  return Status::OK();
+}
+
+Status RequireSingleton(const RewriteRequest& request, std::string_view name) {
+  AQV_RETURN_NOT_OK(RequireRewritableViews(request.views));
   if (request.query.size() != 1) {
     return Status::InvalidArgument(
         std::string(name) + " engine expects a single-CQ request (got " +
@@ -130,9 +141,7 @@ class UcqEngine : public RewritingEngine {
 
   Result<RewriteResponse> Rewrite(const RewriteRequest& request)
       const override {
-    if (request.views == nullptr) {
-      return Status::InvalidArgument("RewriteRequest.views is null");
-    }
+    AQV_RETURN_NOT_OK(RequireRewritableViews(request.views));
     LmssOptions opts = request.options.lmss;
     opts.containment = EffectiveContainment(request.options);
     OracleScope scope(request.options.oracle);

@@ -42,6 +42,14 @@ std::string InverseRuleSet::ToString(const Catalog& catalog) const {
 }
 
 Result<InverseRuleSet> BuildInverseRules(const ViewSet& views) {
+  if (views.HasUnionSources()) {
+    // A tuple of a union source witnesses a *disjunction* of its rules'
+    // bodies; inverting every rule would assert all disjuncts as facts.
+    return Status::Unimplemented(
+        "view set contains union sources (multiple rules per head "
+        "predicate); inverse rules for disjunctive sources are unsound "
+        "without disjunctive heads");
+  }
   InverseRuleSet out;
   for (const View& view : views.views()) {
     const Query& def = view.definition;

@@ -1,6 +1,13 @@
 #include "rewriting/planner.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "containment/containment.h"
+#include "rewriting/pipeline.h"
+#include "views/expansion.h"
 
 namespace aqv {
 
@@ -12,19 +19,94 @@ ExtentStats ExtentStats::FromDatabase(const Database& db) {
   return stats;
 }
 
-double EstimatePlanCost(const Query& q, const ExtentStats& stats) {
-  std::vector<double> cards;
-  cards.reserve(q.body().size());
-  for (const Atom& a : q.body()) {
-    cards.push_back(static_cast<double>(std::max<uint64_t>(
-        1, stats.Card(a.pred))));
+namespace {
+
+/// Bound argument positions of `a` given the currently-bound variable
+/// set. With `count_repeats`, repeated occurrences of an unbound variable
+/// within the atom also count — the evaluator filters them during index
+/// construction, so they shrink the fan-out, but its PlanAtomOrder does
+/// *not* score them when choosing the next atom; the cost model keeps the
+/// two uses separate so it simulates the order the evaluator actually
+/// picks.
+int BoundPositions(const Atom& a, const std::vector<bool>& bound,
+                   bool count_repeats) {
+  int count = 0;
+  std::vector<VarId> seen;
+  for (Term t : a.args) {
+    if (t.is_const()) {
+      ++count;
+    } else if (bound[t.var()]) {
+      ++count;
+    } else if (std::find(seen.begin(), seen.end(), t.var()) != seen.end()) {
+      if (count_repeats) ++count;
+    } else {
+      seen.push_back(t.var());
+    }
   }
-  std::sort(cards.begin(), cards.end());
+  return count;
+}
+
+/// Expected matches per probe of an atom with cardinality `card` and
+/// `arity` columns, `bound` of which are fixed: uniform columns over a
+/// domain of card^(1/arity) values give card / (card^(1/arity))^bound.
+double EffectiveFanout(double card, int arity, int bound) {
+  if (arity <= 0) return 1.0;
+  if (bound >= arity) bound = arity;
+  return std::pow(card, static_cast<double>(arity - bound) /
+                            static_cast<double>(arity));
+}
+
+void Accumulate(OracleStats* into, const OracleStats& delta) {
+  into->hits += delta.hits;
+  into->misses += delta.misses;
+  into->inserts += delta.inserts;
+  into->capacity_rejects += delta.capacity_rejects;
+  into->confirm_failures += delta.confirm_failures;
+}
+
+/// Budget and size overruns degrade planning to the engines that finished;
+/// anything else is a caller or library bug and must surface.
+bool IsSkippableEngineFailure(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kUnimplemented;
+}
+
+}  // namespace
+
+double EstimatePlanCost(const Query& q, const ExtentStats& stats) {
+  int n = static_cast<int>(q.body().size());
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(static_cast<size_t>(q.num_vars()), false);
   double cost = 0;
   double running = 1;
-  for (double c : cards) {
-    running *= c;
+  for (int step = 0; step < n; ++step) {
+    // Mirror the evaluator's greedy order: most bound positions first,
+    // tie-break on cardinality.
+    int best = -1;
+    int best_bound = -1;
+    double best_card = 0;
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const Atom& a = q.body()[i];
+      int b = BoundPositions(a, bound, /*count_repeats=*/false);
+      double card = static_cast<double>(
+          std::max<uint64_t>(1, stats.Card(a.pred)));
+      if (b > best_bound || (b == best_bound && card < best_card)) {
+        best = i;
+        best_bound = b;
+        best_card = card;
+      }
+    }
+    const Atom& a = q.body()[best];
+    used[best] = true;
+    // Fan-out: within-atom duplicates do filter, even though they do not
+    // influence the order above.
+    int fanout_bound = BoundPositions(a, bound, /*count_repeats=*/true);
+    running *= EffectiveFanout(best_card, a.arity(), fanout_bound);
     cost += running;
+    for (Term t : a.args) {
+      if (t.is_var()) bound[t.var()] = true;
+    }
   }
   return cost;
 }
@@ -34,27 +116,89 @@ Result<PlannerResult> ChooseBestPlan(const Query& q, const ViewSet& views,
                                      const ExtentStats& base_stats,
                                      const PlannerOptions& options) {
   PlannerResult result;
-
-  LmssOptions lmss = options.lmss;
-  lmss.max_rewritings = options.max_plans;
-  AQV_ASSIGN_OR_RETURN(LmssResult rewritings,
-                       FindEquivalentRewritings(q, views, lmss));
-  for (Query& rw : rewritings.rewritings) {
-    PlanChoice plan;
-    plan.complete = UsesOnlyViews(rw, views);
-    // Partial rewritings read views and base relations; merge the stats
-    // with view extents taking precedence.
-    ExtentStats merged = base_stats;
-    for (const auto& [pred, card] : view_stats.cardinality) {
-      merged.cardinality[pred] = card;
+  // Default engine list: every registered engine except "ucq" — the
+  // planner always submits a singleton query, for which the ucq engine
+  // reduces to the lmss search already run, producing only duplicates for
+  // the deduper to discard. Callers can still request it explicitly.
+  std::vector<std::string> engines = options.engines;
+  if (engines.empty()) {
+    for (const std::string& name : EngineNames()) {
+      if (name != "ucq") engines.push_back(name);
     }
-    plan.estimated_cost = EstimatePlanCost(rw, merged);
-    plan.rewriting = std::move(rw);
-    result.plans.push_back(std::move(plan));
   }
+
+  // Partial rewritings read views and base relations; merge the stats
+  // with view extents taking precedence.
+  ExtentStats merged = base_stats;
+  for (const auto& [pred, card] : view_stats.cardinality) {
+    merged.cardinality[pred] = card;
+  }
+
+  ContainmentOptions copts = options.engine.containment;
+  copts.oracle = options.engine.oracle;
+  QueryDeduper deduper;
+
+  Query minimized = q;
+  bool have_minimized = false;
+
+  for (const std::string& name : engines) {
+    if (static_cast<int>(result.plans.size()) >= options.max_plans) break;
+    RewriteRequest request;
+    request.query.disjuncts.push_back(q);
+    request.views = &views;
+    request.options = options.engine;
+    request.options.lmss.max_rewritings = options.max_plans;
+    // Only exact plans: a merely-contained rewriting does not answer q.
+    request.options.bucket.require_equivalent = true;
+    Result<RewriteResponse> run = RunEngine(name, request);
+    if (!run.ok()) {
+      if (IsSkippableEngineFailure(run.status())) continue;
+      return run.status();
+    }
+    RewriteResponse resp = std::move(run).value();
+    result.stats.num_candidates += resp.stats.num_candidates;
+    result.stats.combinations += resp.stats.combinations;
+    result.stats.checks += resp.stats.checks;
+    Accumulate(&result.stats.oracle, resp.stats.oracle);
+    if (!have_minimized && !resp.minimized.empty()) {
+      minimized = resp.minimized.disjuncts[0];
+      have_minimized = true;
+    }
+
+    // Equivalence guarantee per engine: lmss/ucq witnesses only when the
+    // decision succeeded; bucket ran with require_equivalent; minicon
+    // disjuncts are contained and need the reverse direction confirmed.
+    if ((name == "lmss" || name == "ucq") && !resp.equivalent_exists) {
+      continue;
+    }
+    bool must_verify = name != "lmss" && name != "ucq" && name != "bucket";
+    for (Query& rw : resp.rewritings.disjuncts) {
+      if (static_cast<int>(result.plans.size()) >= options.max_plans) break;
+      if (must_verify) {
+        AQV_ASSIGN_OR_RETURN(ExpansionResult ex, ExpandRewriting(rw, views));
+        if (!ex.satisfiable) continue;
+        Result<bool> equivalent = AreEquivalent(q, ex.query, copts);
+        if (!equivalent.ok()) {
+          if (IsSkippableEngineFailure(equivalent.status())) continue;
+          return equivalent.status();
+        }
+        if (!equivalent.value()) continue;
+      }
+      AQV_ASSIGN_OR_RETURN(bool fresh, deduper.Insert(rw, copts));
+      if (!fresh) continue;
+      PlanChoice plan;
+      plan.engine = name;
+      plan.complete = UsesOnlyViews(rw, views);
+      plan.estimated_cost = EstimatePlanCost(rw, merged);
+      plan.rewriting = std::move(rw);
+      result.plans.push_back(std::move(plan));
+    }
+  }
+
   if (options.include_direct_plan) {
     PlanChoice direct;
-    direct.rewriting = rewritings.minimized_query;
+    direct.rewriting = std::move(minimized);
+    direct.engine = "direct";
     direct.complete = false;
     direct.estimated_cost = EstimatePlanCost(direct.rewriting, base_stats);
     result.plans.push_back(std::move(direct));

@@ -1,12 +1,22 @@
+/// \file
+/// Cost-based plan selection over the rewriting-engine registry: enumerate
+/// equivalent rewritings of a query from every registered engine
+/// (rewriting/engine.h), cost each candidate — and optionally the direct
+/// "no views" plan — under a bound-variable-aware left-deep join model,
+/// and pick the cheapest. The cost model simulates the evaluator's own
+/// greedy atom order (eval/evaluator.h), so estimated cost tracks the
+/// intermediate-row counts EvaluateQuery actually reports in EvalStats.
+
 #ifndef AQV_REWRITING_PLANNER_H_
 #define AQV_REWRITING_PLANNER_H_
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "cq/query.h"
 #include "eval/database.h"
-#include "rewriting/lmss.h"
+#include "rewriting/engine.h"
 #include "util/status.h"
 #include "views/view.h"
 
@@ -27,11 +37,19 @@ struct ExtentStats {
 };
 
 /// \brief Estimated execution cost of a CQ under a left-deep nested-loop
-/// model with no selectivity information: atoms are ordered ascending by
-/// cardinality and the cost is the sum of prefix products (the classic
-/// textbook upper bound). Deliberately simple — it ranks "pre-joined view"
-/// against "re-join the base tables" robustly, which is all the
-/// view-selection decision needs.
+/// model that mirrors the evaluator's greedy atom order: at each step the
+/// unused atom with the most bound argument positions joins next
+/// (tie-break on cardinality). An atom of cardinality c and arity a probed
+/// with b bound positions contributes an effective fan-out of
+/// c^((a-b)/a) — every relation is assumed uniform over a per-column
+/// domain of c^(1/a) values, so each bound column divides the match count
+/// by c^(1/a). The cost is the sum of intermediate result sizes, the
+/// quantity EvalStats::intermediate_rows measures.
+///
+/// Unlike the cardinality-only prefix-product model this replaces, the
+/// estimate distinguishes a connected chain join from a cross product of
+/// the same relations: a join probed through a bound variable is charged
+/// c^(1/2) per probe where the cross product is charged c.
 double EstimatePlanCost(const Query& q, const ExtentStats& stats);
 
 /// One plan the planner considered.
@@ -40,11 +58,23 @@ struct PlanChoice {
   double estimated_cost = 0;
   /// True when every body atom is a view predicate.
   bool complete = false;
+  /// Registry name of the engine that produced this rewriting, or
+  /// "direct" for the no-views plan.
+  std::string engine;
 };
 
 /// Options for plan selection.
 struct PlannerOptions {
-  LmssOptions lmss;
+  /// Engines consulted for equivalent rewritings, by registry name
+  /// (EngineNames()); empty means every registered engine except "ucq",
+  /// which on the planner's singleton queries only repeats the lmss
+  /// search (request it explicitly to include it anyway).
+  std::vector<std::string> engines;
+  /// Options (oracle, budgets, per-strategy knobs) handed to each engine.
+  /// Strategy limits that bound the enumeration (lmss.max_rewritings) are
+  /// overridden from max_plans; Bucket runs with require_equivalent so
+  /// every candidate plan answers the query exactly.
+  EngineOptions engine;
   /// Cap on the number of equivalent rewritings enumerated and costed.
   int max_plans = 64;
   /// Also consider answering directly over base relations (the "no views"
@@ -54,18 +84,27 @@ struct PlannerOptions {
 
 /// Outcome of plan selection.
 struct PlannerResult {
-  /// Every plan considered, in enumeration order. Non-empty iff some plan
-  /// exists (the direct plan counts when enabled).
+  /// Every plan considered, in enumeration order (engines in registry
+  /// order, deduplicated across engines). Non-empty iff some plan exists
+  /// (the direct plan counts when enabled).
   std::vector<PlanChoice> plans;
   /// Index of the cheapest plan in `plans`, or -1 when none.
   int best = -1;
+  /// Aggregate search counters of every engine consulted.
+  RewriteStats stats;
 };
 
-/// \brief The LMSS optimization loop in one call: enumerate equivalent
-/// rewritings of `q` over `views`, cost each against the view-extent
-/// statistics, optionally cost the direct plan against base statistics, and
-/// pick the cheapest. The chosen rewriting evaluates over the extents
-/// database; the direct plan evaluates over the base database.
+/// \brief The view-selection optimization loop in one call: enumerate
+/// equivalent rewritings of `q` over `views` from every engine in
+/// `options.engines`, cost each against the view-extent statistics,
+/// optionally cost the direct plan against base statistics, and pick the
+/// cheapest. The chosen rewriting evaluates over the extents database
+/// (merged with base stats for partial rewritings); the direct plan
+/// evaluates over the base database.
+///
+/// Engines that fail with a budget/size error (kResourceExhausted,
+/// kUnimplemented) are skipped — the planner degrades to the engines that
+/// finished; kInvalidArgument and internal errors propagate.
 Result<PlannerResult> ChooseBestPlan(const Query& q, const ViewSet& views,
                                      const ExtentStats& view_stats,
                                      const ExtentStats& base_stats,

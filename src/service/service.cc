@@ -1,6 +1,7 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace aqv {
@@ -12,16 +13,17 @@ double MsBetween(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample.
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) +
-                                   0.5);
-  if (idx >= sorted.size()) idx = sorted.size() - 1;
-  return sorted[idx];
-}
-
 }  // namespace
+
+double NearestRankPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  // ceil(q*n)-th order statistic, 1-based; clamp guards q outside (0, 1].
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
 
 RewriteService::RewriteService(ServiceOptions options)
     : options_(options),
@@ -50,31 +52,44 @@ RewriteService::~RewriteService() {
 void RewriteService::WorkerLoop() {
   Job job;
   while (queue_.Pop(&job)) {
-    ServiceResponse resp = Execute(job);
-    if (resp.status.ok()) {
+    bool ok = false;
+    if (std::holds_alternative<ServiceRequest>(job.request)) {
+      ServiceResponse resp = ExecuteRewrite(job);
+      ok = resp.status.ok();
+      {
+        std::lock_guard<std::mutex> lock(results_mu_);
+        pending_.erase(job.ticket);
+        done_.emplace(job.ticket, std::move(resp));
+      }
+    } else {
+      AnswerServiceResponse resp = ExecuteAnswer(job);
+      ok = resp.status.ok();
+      {
+        std::lock_guard<std::mutex> lock(results_mu_);
+        pending_.erase(job.ticket);
+        done_answers_.emplace(job.ticket, std::move(resp));
+      }
+    }
+    if (ok) {
       completed_ok_.fetch_add(1, std::memory_order_relaxed);
     } else {
       completed_failed_.fetch_add(1, std::memory_order_relaxed);
-    }
-    {
-      std::lock_guard<std::mutex> lock(results_mu_);
-      pending_.erase(job.ticket);
-      done_.emplace(job.ticket, std::move(resp));
     }
     result_ready_.notify_all();
   }
 }
 
-ServiceResponse RewriteService::Execute(Job& job) {
+ServiceResponse RewriteService::ExecuteRewrite(Job& job) {
+  ServiceRequest& rewrite = std::get<ServiceRequest>(job.request);
   ServiceResponse resp;
   resp.ticket = job.ticket;
-  resp.engine = job.request.engine;
+  resp.engine = rewrite.engine;
   // The worker owns the job outright, so wire the oracle in place rather
   // than deep-copying the request (its whole UCQ) per execution.
-  RewriteRequest& request = job.request.request;
+  RewriteRequest& request = rewrite.request;
   if (options_.share_oracle) request.options.oracle = &oracle_;
   auto t0 = std::chrono::steady_clock::now();
-  Result<RewriteResponse> r = RunEngine(job.request.engine, request);
+  Result<RewriteResponse> r = RunEngine(rewrite.engine, request);
   resp.latency_ms = MsBetween(t0, std::chrono::steady_clock::now());
   if (r.ok()) {
     resp.response = std::move(r).value();
@@ -84,8 +99,25 @@ ServiceResponse RewriteService::Execute(Job& job) {
   return resp;
 }
 
-Result<uint64_t> RewriteService::Submit(ServiceRequest request) {
-  Job job;
+AnswerServiceResponse RewriteService::ExecuteAnswer(Job& job) {
+  AnswerRequest& answer = std::get<AnswerRequest>(job.request);
+  AnswerServiceResponse resp;
+  resp.ticket = job.ticket;
+  // One wire point suffices: AnswerQuery copies request.options into the
+  // planner's engine options itself.
+  if (options_.share_oracle) answer.options.oracle = &oracle_;
+  auto t0 = std::chrono::steady_clock::now();
+  Result<AnswerResponse> r = AnswerQuery(answer);
+  resp.latency_ms = MsBetween(t0, std::chrono::steady_clock::now());
+  if (r.ok()) {
+    resp.response = std::move(r).value();
+  } else {
+    resp.status = r.status();
+  }
+  return resp;
+}
+
+Result<uint64_t> RewriteService::Enqueue(Job job) {
   {
     std::lock_guard<std::mutex> lock(results_mu_);
     if (shutting_down_) {
@@ -95,7 +127,6 @@ Result<uint64_t> RewriteService::Submit(ServiceRequest request) {
     pending_.insert(job.ticket);
   }
   uint64_t ticket = job.ticket;
-  job.request = std::move(request);
   if (!queue_.Push(std::move(job))) {
     std::lock_guard<std::mutex> lock(results_mu_);
     pending_.erase(ticket);
@@ -104,38 +135,102 @@ Result<uint64_t> RewriteService::Submit(ServiceRequest request) {
   return ticket;
 }
 
-Result<ServiceResponse> RewriteService::Wait(uint64_t ticket) {
+Result<uint64_t> RewriteService::Submit(ServiceRequest request) {
+  Job job;
+  job.request = std::move(request);
+  return Enqueue(std::move(job));
+}
+
+Result<uint64_t> RewriteService::SubmitAnswer(AnswerRequest request) {
+  Job job;
+  job.request = std::move(request);
+  return Enqueue(std::move(job));
+}
+
+template <typename Response>
+Result<Response> RewriteService::WaitIn(
+    std::unordered_map<uint64_t, Response>& done, uint64_t ticket,
+    const char* flavor) {
   std::unique_lock<std::mutex> lock(results_mu_);
   // Also wake when the ticket vanishes entirely (a racing Wait/TryWait on
-  // the same ticket collected it): that must report kNotFound, not hang.
+  // the same ticket collected it, or it belongs to the other job kind):
+  // that must report kNotFound, not hang.
   result_ready_.wait(lock, [&] {
-    return done_.count(ticket) != 0 || pending_.count(ticket) == 0;
+    return done.count(ticket) != 0 || pending_.count(ticket) == 0;
   });
-  auto it = done_.find(ticket);
-  if (it == done_.end()) {
+  auto it = done.find(ticket);
+  if (it == done.end()) {
     return Status::NotFound("ticket " + std::to_string(ticket) +
-                            " was never issued or was already collected");
+                            " was never issued as " + flavor +
+                            " job or was already collected");
   }
-  ServiceResponse resp = std::move(it->second);
-  done_.erase(it);
+  Response resp = std::move(it->second);
+  done.erase(it);
   return resp;
+}
+
+template <typename Response>
+Result<std::optional<Response>> RewriteService::TryWaitIn(
+    std::unordered_map<uint64_t, Response>& done, uint64_t ticket,
+    const char* flavor) {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  auto it = done.find(ticket);
+  if (it == done.end()) {
+    if (pending_.count(ticket) == 0) {
+      return Status::NotFound("ticket " + std::to_string(ticket) +
+                              " was never issued as " + flavor +
+                              " job or was already collected");
+    }
+    return std::optional<Response>();  // still in flight
+  }
+  std::optional<Response> resp(std::move(it->second));
+  done.erase(it);
+  return resp;
+}
+
+Result<ServiceResponse> RewriteService::Wait(uint64_t ticket) {
+  return WaitIn(done_, ticket, "a rewrite");
 }
 
 Result<std::optional<ServiceResponse>> RewriteService::TryWait(
     uint64_t ticket) {
-  std::lock_guard<std::mutex> lock(results_mu_);
-  auto it = done_.find(ticket);
-  if (it == done_.end()) {
-    if (pending_.count(ticket) == 0) {
-      return Status::NotFound("ticket " + std::to_string(ticket) +
-                              " was never issued or was already collected");
-    }
-    return std::optional<ServiceResponse>();  // still in flight
-  }
-  std::optional<ServiceResponse> resp(std::move(it->second));
-  done_.erase(it);
-  return resp;
+  return TryWaitIn(done_, ticket, "a rewrite");
 }
+
+Result<AnswerServiceResponse> RewriteService::WaitAnswer(uint64_t ticket) {
+  return WaitIn(done_answers_, ticket, "an answering");
+}
+
+Result<std::optional<AnswerServiceResponse>> RewriteService::TryWaitAnswer(
+    uint64_t ticket) {
+  return TryWaitIn(done_answers_, ticket, "an answering");
+}
+
+namespace {
+
+/// Shared tail of the two batch APIs: wall time, throughput, latency
+/// percentiles, per-batch oracle delta.
+void FinalizeBatchStats(ServiceStats* stats, size_t batch_size,
+                        std::vector<double>* latencies,
+                        std::chrono::steady_clock::time_point t0,
+                        const OracleStats& oracle_before,
+                        const ContainmentOracle& oracle, int num_workers) {
+  stats->requests = batch_size;
+  stats->wall_ms = MsBetween(t0, std::chrono::steady_clock::now());
+  if (stats->wall_ms > 0.0) {
+    stats->throughput_rps =
+        static_cast<double>(batch_size) / (stats->wall_ms / 1000.0);
+  }
+  std::sort(latencies->begin(), latencies->end());
+  stats->p50_ms = NearestRankPercentile(*latencies, 0.50);
+  stats->p95_ms = NearestRankPercentile(*latencies, 0.95);
+  stats->max_ms = latencies->empty() ? 0.0 : latencies->back();
+  stats->oracle = oracle.stats() - oracle_before;
+  stats->num_workers = num_workers;
+  stats->oracle_shards = oracle.num_shards();
+}
+
+}  // namespace
 
 Result<BatchResult> RewriteService::RewriteBatch(
     const std::vector<ServiceRequest>& batch) {
@@ -170,19 +265,44 @@ Result<BatchResult> RewriteService::RewriteBatch(
     out.responses.push_back(std::move(resp));
   }
 
-  out.stats.requests = batch.size();
-  out.stats.wall_ms = MsBetween(t0, std::chrono::steady_clock::now());
-  if (out.stats.wall_ms > 0.0) {
-    out.stats.throughput_rps =
-        static_cast<double>(batch.size()) / (out.stats.wall_ms / 1000.0);
+  FinalizeBatchStats(&out.stats, batch.size(), &latencies, t0, oracle_before,
+                     oracle_, num_workers());
+  return out;
+}
+
+Result<AnswerBatchResult> RewriteService::AnswerBatch(
+    const std::vector<AnswerRequest>& batch) {
+  OracleStats oracle_before = oracle_.stats();
+  auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<uint64_t> tickets;
+  tickets.reserve(batch.size());
+  for (const AnswerRequest& request : batch) {
+    Result<uint64_t> ticket = SubmitAnswer(request);
+    if (!ticket.ok()) {
+      for (uint64_t t : tickets) (void)WaitAnswer(t);
+      return ticket.status();
+    }
+    tickets.push_back(ticket.value());
   }
-  std::sort(latencies.begin(), latencies.end());
-  out.stats.p50_ms = Percentile(latencies, 0.50);
-  out.stats.p95_ms = Percentile(latencies, 0.95);
-  out.stats.max_ms = latencies.empty() ? 0.0 : latencies.back();
-  out.stats.oracle = oracle_.stats() - oracle_before;
-  out.stats.num_workers = num_workers();
-  out.stats.oracle_shards = oracle_.num_shards();
+
+  AnswerBatchResult out;
+  out.responses.reserve(batch.size());
+  std::vector<double> latencies;
+  latencies.reserve(batch.size());
+  for (uint64_t ticket : tickets) {
+    AQV_ASSIGN_OR_RETURN(AnswerServiceResponse resp, WaitAnswer(ticket));
+    latencies.push_back(resp.latency_ms);
+    if (resp.status.ok()) {
+      ++out.stats.ok;
+    } else {
+      ++out.stats.failed;
+    }
+    out.responses.push_back(std::move(resp));
+  }
+
+  FinalizeBatchStats(&out.stats, batch.size(), &latencies, t0, oracle_before,
+                     oracle_, num_workers());
   return out;
 }
 

@@ -1,21 +1,27 @@
 /// \file
-/// The concurrent batch-rewriting service: a fixed pool of worker threads
-/// executing RewriteRequests through the unified engine layer
-/// (rewriting/engine.h), all sharing one sharded thread-safe
-/// ContainmentOracle (containment/oracle.h). Per-request latency has a
-/// hard floor — the underlying problems are NP-complete (LMSS95 Thms
-/// 3.1/3.3) — so the service buys throughput, not latency: parallel
-/// execution across requests plus cross-request containment memoization.
+/// The concurrent batch service: a fixed pool of worker threads executing
+/// two kinds of jobs — RewriteRequests through the unified engine layer
+/// (rewriting/engine.h) and AnswerRequests through the end-to-end
+/// answering pipeline (answering/answering.h) — all sharing one sharded
+/// thread-safe ContainmentOracle (containment/oracle.h). Per-request
+/// latency has a hard floor — the underlying problems are NP-complete
+/// (LMSS95 Thms 3.1/3.3) — so the service buys throughput, not latency:
+/// parallel execution across requests plus cross-request containment
+/// memoization.
 ///
-/// Two entry points: RewriteBatch (submit a vector, block for all results
-/// plus aggregate ServiceStats) and the streaming Submit/Wait/TryWait
-/// ticket API. Responses are deterministic: a request's payload never
-/// depends on worker count, shard count, or scheduling, because the
-/// oracle is a pure cache (tests/test_service.cc holds the service to
-/// that). The one non-deterministic surface is per-request
-/// RewriteStats::oracle deltas, which under concurrency include other
-/// workers' traffic — read aggregate oracle numbers from ServiceStats
-/// instead.
+/// Entry points per job kind: the blocking batch APIs (RewriteBatch /
+/// AnswerBatch: submit a vector, block for all results plus aggregate
+/// ServiceStats) and the streaming Submit/Wait/TryWait resp.
+/// SubmitAnswer/WaitAnswer/TryWaitAnswer ticket APIs. Tickets come from
+/// one shared sequence, but collection is typed: a ticket must be
+/// collected through the API flavor that submitted it (waiting on the
+/// other flavor reports kNotFound once the job completes). Responses are
+/// deterministic: a request's payload never depends on worker count,
+/// shard count, or scheduling, because the oracle is a pure cache
+/// (tests/test_service.cc holds the service to that). The one
+/// non-deterministic surface is per-request RewriteStats::oracle deltas,
+/// which under concurrency include other workers' traffic — read
+/// aggregate oracle numbers from ServiceStats instead.
 
 #ifndef AQV_SERVICE_SERVICE_H_
 #define AQV_SERVICE_SERVICE_H_
@@ -31,8 +37,10 @@
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <variant>
 #include <vector>
 
+#include "answering/answering.h"
 #include "containment/oracle.h"
 #include "rewriting/engine.h"
 #include "service/mpmc_queue.h"
@@ -107,6 +115,31 @@ struct BatchResult {
   ServiceStats stats;
 };
 
+/// Outcome of one answering job (the second job kind; see
+/// answering/answering.h for the request/response semantics).
+struct AnswerServiceResponse {
+  /// The ticket SubmitAnswer returned (batch positions for AnswerBatch).
+  uint64_t ticket = 0;
+  /// Pipeline-level failure (unknown engine/route, missing inputs, budget
+  /// overrun). `response` is meaningful only when this is OK.
+  Status status;
+  AnswerResponse response;
+  /// Wall time of the answering call itself (queue wait excluded).
+  double latency_ms = 0.0;
+};
+
+/// An answering batch's responses (in submission order) plus stats.
+struct AnswerBatchResult {
+  std::vector<AnswerServiceResponse> responses;
+  ServiceStats stats;
+};
+
+/// True nearest-rank percentile of an ascending-sorted sample: the
+/// ceil(q*n)-th order statistic for q in (0, 1] (0 for an empty sample).
+/// Unlike the rounded interpolation it replaces, p50 of a 2-sample batch
+/// is the *smaller* sample — the textbook nearest-rank definition.
+double NearestRankPercentile(const std::vector<double>& sorted, double q);
+
 /// \brief Fixed-pool concurrent rewriting service over the engine registry.
 ///
 /// Thread safety: all public members may be called from any thread.
@@ -128,6 +161,11 @@ class RewriteService {
   /// the service is shutting down.
   Result<BatchResult> RewriteBatch(const std::vector<ServiceRequest>& batch);
 
+  /// Answering twin of RewriteBatch: runs every AnswerRequest through the
+  /// pipeline on the shared pool (rewriting and answering jobs interleave
+  /// freely on the same workers and oracle).
+  Result<AnswerBatchResult> AnswerBatch(const std::vector<AnswerRequest>& batch);
+
   /// Streaming half: enqueue one request, get a ticket for Wait/TryWait.
   /// Returns kFailedPrecondition-style Internal error if shutting down.
   /// Every ticket must eventually be collected: an uncollected response is
@@ -135,14 +173,23 @@ class RewriteService {
   /// fire-and-forget submission leaks memory for the service's lifetime.
   Result<uint64_t> Submit(ServiceRequest request);
 
+  /// Streaming submission of an answering job; collect the ticket with
+  /// WaitAnswer/TryWaitAnswer (the rewrite-side Wait reports kNotFound
+  /// for answering tickets).
+  Result<uint64_t> SubmitAnswer(AnswerRequest request);
+
   /// Blocks until the ticket's response is ready, then hands it over
   /// (each ticket can be collected exactly once). kNotFound for tickets
-  /// never issued or already collected.
+  /// never issued, already collected, or submitted as the other job kind.
   Result<ServiceResponse> Wait(uint64_t ticket);
 
   /// Non-blocking poll: the response if ready (collecting it), nullopt if
   /// still in flight. kNotFound as for Wait.
   Result<std::optional<ServiceResponse>> TryWait(uint64_t ticket);
+
+  /// Answering twins of Wait/TryWait.
+  Result<AnswerServiceResponse> WaitAnswer(uint64_t ticket);
+  Result<std::optional<AnswerServiceResponse>> TryWaitAnswer(uint64_t ticket);
 
   /// Totals since construction (percentiles zero; see ServiceStats).
   ServiceStats lifetime_stats() const;
@@ -156,11 +203,25 @@ class RewriteService {
  private:
   struct Job {
     uint64_t ticket = 0;
-    ServiceRequest request;
+    /// Exactly one payload per job; the alternative is the job kind.
+    std::variant<ServiceRequest, AnswerRequest> request;
   };
 
   void WorkerLoop();
-  ServiceResponse Execute(Job& job);
+  ServiceResponse ExecuteRewrite(Job& job);
+  AnswerServiceResponse ExecuteAnswer(Job& job);
+  Result<uint64_t> Enqueue(Job job);
+
+  /// Shared implementation of Wait/WaitAnswer and TryWait/TryWaitAnswer:
+  /// the subtle wake-and-kNotFound predicate lives here once, per done
+  /// map. Defined in service.cc (only used there).
+  template <typename Response>
+  Result<Response> WaitIn(std::unordered_map<uint64_t, Response>& done,
+                          uint64_t ticket, const char* flavor);
+  template <typename Response>
+  Result<std::optional<Response>> TryWaitIn(
+      std::unordered_map<uint64_t, Response>& done, uint64_t ticket,
+      const char* flavor);
 
   ServiceOptions options_;
   ContainmentOracle oracle_;
@@ -170,9 +231,11 @@ class RewriteService {
   mutable std::mutex results_mu_;
   std::condition_variable result_ready_;
   /// Tickets issued but not yet collected; a ticket is in `pending_` from
-  /// Submit until its response lands in `done_`.
+  /// Submit/SubmitAnswer until its response lands in the matching done
+  /// map (`done_` for rewrite jobs, `done_answers_` for answering jobs).
   std::unordered_set<uint64_t> pending_;
   std::unordered_map<uint64_t, ServiceResponse> done_;
+  std::unordered_map<uint64_t, AnswerServiceResponse> done_answers_;
   uint64_t next_ticket_ = 1;
   bool shutting_down_ = false;
 

@@ -5,9 +5,20 @@
 namespace aqv {
 
 Status ViewSet::Add(Query definition) {
+  return AddImpl(std::move(definition), /*allow_duplicate_pred=*/false);
+}
+
+Status ViewSet::AddRule(Query definition) {
+  return AddImpl(std::move(definition), /*allow_duplicate_pred=*/true);
+}
+
+Status ViewSet::AddImpl(Query definition, bool allow_duplicate_pred) {
+  // Validate before touching the catalog: the error messages below
+  // dereference it, and Validate() is what rejects a catalog-less query.
   AQV_RETURN_NOT_OK(definition.Validate());
   PredId pred = definition.head().pred;
-  if (FindByPred(pred) != nullptr) {
+  bool duplicate = FindByPred(pred) != nullptr;
+  if (duplicate && !allow_duplicate_pred) {
     return Status::InvalidArgument(
         "duplicate view definition for '" +
         definition.catalog()->pred(pred).name + "'");
@@ -19,6 +30,7 @@ Status ViewSet::Add(Query definition) {
                                      "' refers to itself");
     }
   }
+  if (duplicate) has_union_sources_ = true;
   views_.push_back(View{pred, std::move(definition)});
   return Status::OK();
 }

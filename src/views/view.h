@@ -42,6 +42,18 @@ class ViewSet {
   /// predicate already exists or the definition is invalid.
   Status Add(Query definition);
 
+  /// Adds one more rule for a head predicate that may already have views —
+  /// a *union source*, whose extent is the union of all its rules'
+  /// outputs. Only the extent-side consumers (MaterializeViews and direct
+  /// extent evaluation) support union sources; the rewriting engines and
+  /// the inverse-rules builder reject view sets containing them, because
+  /// expanding a view atom by one rule of a disjunctive definition is
+  /// unsound.
+  Status AddRule(Query definition);
+
+  /// True when some head predicate has more than one rule (AddRule).
+  bool HasUnionSources() const { return has_union_sources_; }
+
   /// Parses a program of view definitions, one rule per view.
   static Result<ViewSet> Parse(std::string_view text, Catalog* catalog);
 
@@ -57,7 +69,10 @@ class ViewSet {
   const View& view(int i) const { return views_[i]; }
 
  private:
+  Status AddImpl(Query definition, bool allow_duplicate_pred);
+
   std::vector<View> views_;
+  bool has_union_sources_ = false;
 };
 
 /// True iff every body atom of `q` is a view predicate of `views`

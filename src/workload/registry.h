@@ -15,6 +15,8 @@
 #include <string_view>
 #include <vector>
 
+#include "answering/answering.h"
+#include "eval/database.h"
 #include "rewriting/engine.h"
 #include "util/status.h"
 #include "workload/scenarios.h"
@@ -71,6 +73,47 @@ struct ScenarioRequestBatch {
 Result<ScenarioRequestBatch> MakeBatchFromScenarios(
     const std::vector<std::string>& scenario_names,
     const std::vector<std::string>& engine_names, int repeats, uint64_t seed,
+    int db_size);
+
+/// \brief A synthesized answering batch: full AnswerRequests — query,
+/// views, base instance, *and pre-materialized extents* — over owned
+/// Scenario objects, the workload-side input of the service layer's
+/// answering job kind (RewriteService::AnswerBatch consumes `requests`
+/// directly).
+///
+/// `requests` and `labels` are parallel arrays. Each scenario's extents
+/// are materialized once and shared by every request over that scenario
+/// (the batch-level extent cache), so answering jobs measure planning +
+/// execution, not repeated view evaluation. Keep the whole struct alive
+/// (move-only, never reallocating scenarios/extents) until every response
+/// has been collected.
+struct AnswerScenarioBatch {
+  std::vector<std::unique_ptr<Scenario>> scenarios;
+  /// extents[i] belongs to scenarios[i].
+  std::vector<std::unique_ptr<Database>> extents;
+  std::vector<AnswerRequest> requests;
+  /// "scenario/route/engine/rep:N" (engine omitted for engine-independent
+  /// routes) — for logs, bench counters, and assertions.
+  std::vector<std::string> labels;
+
+  size_t size() const { return requests.size(); }
+};
+
+/// \brief Synthesizes the grid scenario_names × routes × engine_names ×
+/// repeats into one answering batch — the workload shape of a mediator
+/// answering many concurrent queries over one view catalog.
+///
+/// Engine-independent routes (kDirect, kInverseRules) contribute one
+/// request per (scenario, repeat) instead of one per engine. Each
+/// (scenario, repeat) pair gets its own Scenario built with seed
+/// `seed + repeat` plus its own materialized extents. Requests carry
+/// default options (no oracle); the service wires its shared oracle in.
+/// Empty name/route lists or repeats < 1 yield kInvalidArgument; unknown
+/// names propagate kNotFound.
+Result<AnswerScenarioBatch> MakeAnswerBatchFromScenarios(
+    const std::vector<std::string>& scenario_names,
+    const std::vector<std::string>& engine_names,
+    const std::vector<AnswerRoute>& routes, int repeats, uint64_t seed,
     int db_size);
 
 }  // namespace aqv

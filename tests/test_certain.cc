@@ -93,18 +93,76 @@ TEST_F(CertainTest, RewritingUnionEvaluation) {
   ASSERT_EQ(mc.value().rewritings.size(), 1);
   Database extents(&cat_);
   extents.Add(cat_.FindPredicate("v1").value(), {7});
-  auto ans = EvaluateRewritingUnion(mc.value().rewritings, extents);
+  auto ans = EvaluateRewritingUnion(q, mc.value().rewritings, extents);
   ASSERT_TRUE(ans.ok());
   ASSERT_EQ(ans.value().size(), 1u);
   EXPECT_TRUE(ans.value().Contains({7}));
 }
 
-TEST_F(CertainTest, EmptyUnionIsAnError) {
+TEST_F(CertainTest, EmptyUnionIsTypedEmptyResult) {
+  // No contained rewriting ⇒ no derivable certain answers: an empty
+  // relation of the query's own head type, not an error (regression: this
+  // used to return kInvalidArgument and force every caller to
+  // special-case empty unions).
+  Query q = Parse("q(X, Y) :- r(X, Y).");
   UnionQuery empty;
   Database extents(&cat_);
-  auto ans = EvaluateRewritingUnion(empty, extents);
+  auto ans = EvaluateRewritingUnion(q, empty, extents);
+  ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+  EXPECT_TRUE(ans.value().empty());
+  EXPECT_EQ(ans.value().arity(), 2);
+  EXPECT_EQ(ans.value().pred(), q.head().pred);
+}
+
+TEST_F(CertainTest, UnionDisjunctArityMismatchIsAnError) {
+  Query q = Parse("q(X, Y) :- r(X, Y).");
+  UnionQuery wrong;
+  wrong.disjuncts.push_back(Parse("w(X) :- r(X, Y)."));
+  Database extents(&cat_);
+  auto ans = EvaluateRewritingUnion(q, wrong, extents);
   ASSERT_FALSE(ans.ok());
   EXPECT_EQ(ans.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CertainTest, NullaryQueryCertainAnswerAddedOnce) {
+  // Boolean query: the certain answer is the single empty row, present
+  // exactly once (regression: the arity-0 path used to add it twice
+  // before SortDedup).
+  Query q = Parse("q() :- r(X, Y).");
+  ViewSet vs = Views("vb(X, Y) :- r(X, Y).");
+  InverseRuleSet ir = BuildInverseRules(vs).value();
+  Database extents(&cat_);
+  extents.Add(cat_.FindPredicate("vb").value(), {1, 2});
+  auto ans = CertainAnswersViaInverseRules(q, ir, extents);
+  ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+  EXPECT_EQ(ans.value().arity(), 0);
+  EXPECT_EQ(ans.value().size(), 1u);
+  EXPECT_TRUE(ans.value().Contains({}));
+
+  // And with an empty extent the boolean query is not certain.
+  Database no_extent(&cat_);
+  auto none = CertainAnswersViaInverseRules(q, ir, no_extent);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().empty());
+}
+
+TEST_F(CertainTest, UnionQueryInverseRulesRoute) {
+  // Certain answers of a UCQ: both disjuncts contribute.
+  UnionQuery u;
+  u.disjuncts.push_back(Parse("q(X) :- r(X, Y)."));
+  u.disjuncts.push_back(Parse("q(X) :- s(X)."));
+  ViewSet vs = Views(
+      "vr2(X, Y) :- r(X, Y).\n"
+      "vs2(X) :- s(X).");
+  InverseRuleSet ir = BuildInverseRules(vs).value();
+  Database extents(&cat_);
+  extents.Add(cat_.FindPredicate("vr2").value(), {1, 2});
+  extents.Add(cat_.FindPredicate("vs2").value(), {7});
+  auto ans = CertainAnswersViaInverseRules(u, ir, extents);
+  ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+  EXPECT_EQ(ans.value().size(), 2u);
+  EXPECT_TRUE(ans.value().Contains({1}));
+  EXPECT_TRUE(ans.value().Contains({7}));
 }
 
 TEST_F(CertainTest, PipelineMatchesInverseRulesOnMaterializedExtents) {
@@ -127,7 +185,7 @@ TEST_F(CertainTest, PipelineMatchesInverseRulesOnMaterializedExtents) {
 
   auto mc = MiniConRewrite(q, vs);
   ASSERT_TRUE(mc.ok());
-  auto mc_ans = EvaluateRewritingUnion(mc.value().rewritings, extents);
+  auto mc_ans = EvaluateRewritingUnion(q, mc.value().rewritings, extents);
   ASSERT_TRUE(mc_ans.ok());
 
   InverseRuleSet ir = BuildInverseRules(vs).value();

@@ -264,6 +264,45 @@ TEST_F(EvalTest, MaterializeViewsProducesExtents) {
   EXPECT_EQ(mat.value().Find(e), nullptr);
 }
 
+TEST_F(EvalTest, MaterializeViewsUnionsSharedPredicate) {
+  // Two rules sharing one head predicate (a union source): the extent is
+  // the deduplicated union of both rules' outputs (regression: the second
+  // rule's extent used to clobber the first's rows).
+  ViewSet vs;
+  ASSERT_TRUE(vs.Add(Parse("u(X) :- a(X).")).ok());
+  ASSERT_TRUE(vs.AddRule(Parse("u(X) :- b(X).")).ok());
+  ASSERT_TRUE(vs.HasUnionSources());
+  Database db(&cat_);
+  PredId a = cat_.FindPredicate("a").value();
+  PredId b = cat_.FindPredicate("b").value();
+  db.Add(a, {1});
+  db.Add(a, {2});
+  db.Add(b, {2});
+  db.Add(b, {3});
+  auto mat = MaterializeViews(vs, db);
+  ASSERT_TRUE(mat.ok()) << mat.status().ToString();
+  const Relation* extent = mat.value().Find(vs.view(0).pred);
+  ASSERT_NE(extent, nullptr);
+  EXPECT_EQ(extent->size(), 3u);  // {1, 2, 3}, deduplicated
+  EXPECT_TRUE(extent->Contains({1}));
+  EXPECT_TRUE(extent->Contains({2}));
+  EXPECT_TRUE(extent->Contains({3}));
+}
+
+TEST_F(EvalTest, MaterializeViewsUnionsNullarySource) {
+  ViewSet vs;
+  ASSERT_TRUE(vs.Add(Parse("flag() :- a(X).")).ok());
+  ASSERT_TRUE(vs.AddRule(Parse("flag() :- b(X).")).ok());
+  Database db(&cat_);
+  db.Add(cat_.FindPredicate("a").value(), {4});
+  db.Add(cat_.FindPredicate("b").value(), {5});  // both rules fire
+  auto mat = MaterializeViews(vs, db);
+  ASSERT_TRUE(mat.ok()) << mat.status().ToString();
+  const Relation* extent = mat.value().Find(vs.view(0).pred);
+  ASSERT_NE(extent, nullptr);
+  EXPECT_EQ(extent->size(), 1u);
+}
+
 TEST_F(EvalTest, DatabaseBookkeeping) {
   Database db(&cat_);
   PredId e = cat_.GetOrAddPredicate("zz", 2).value();

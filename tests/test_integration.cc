@@ -58,7 +58,7 @@ TEST(Integration, TravelEquivalentAndContainedRegimes) {
   Database extents = MaterializeViews(reduced, s.base).value();
   Relation direct = EvaluateQuery(s.query, s.base).value();
   if (!mc.rewritings.empty()) {
-    Relation certain = EvaluateRewritingUnion(mc.rewritings, extents).value();
+    Relation certain = EvaluateRewritingUnion(s.query, mc.rewritings, extents).value();
     for (auto& row : certain.Rows()) {
       EXPECT_TRUE(direct.Contains(row));  // soundness
     }
@@ -80,8 +80,8 @@ TEST(Integration, BibliographyThreeWayAgreement) {
     EXPECT_EQ(ir_ans.size(), 0u);
     return;
   }
-  Relation mc_ans = EvaluateRewritingUnion(mc.rewritings, extents).value();
-  Relation bk_ans = EvaluateRewritingUnion(bk.rewritings, extents).value();
+  Relation mc_ans = EvaluateRewritingUnion(s.query, mc.rewritings, extents).value();
+  Relation bk_ans = EvaluateRewritingUnion(s.query, bk.rewritings, extents).value();
   EXPECT_TRUE(Relation::SameSet(mc_ans, bk_ans));
   EXPECT_TRUE(Relation::SameSet(mc_ans, ir_ans));
 

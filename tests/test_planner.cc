@@ -48,6 +48,100 @@ TEST_F(PlannerTest, CostGrowsWithJoinDepth) {
   EXPECT_LT(EstimatePlanCost(one, stats), EstimatePlanCost(two, stats));
 }
 
+TEST_F(PlannerTest, ConnectedJoinCheaperThanCrossProduct) {
+  // Regression for the cardinality-only prefix-product model: it charged
+  // the connected chain r⋈s (via the shared variable Y) the full 100×100
+  // while the *cross product* with the smaller u got 50 + 50×100 — so the
+  // old model preferred the cross-product plan. The bound-variable-aware
+  // model charges the chain's second atom c^(1/2) per probe and flips the
+  // ordering.
+  Query chain = Parse("pc(X, Z) :- r(X, Y), s(Y, Z).");
+  Query cross = Parse("px(X, Z) :- r(X, Y), u(Z, W).");
+  ExtentStats stats;
+  stats.cardinality[cat_.FindPredicate("r").value()] = 100;
+  stats.cardinality[cat_.FindPredicate("s").value()] = 100;
+  stats.cardinality[cat_.FindPredicate("u").value()] = 50;
+  double chain_cost = EstimatePlanCost(chain, stats);
+  double cross_cost = EstimatePlanCost(cross, stats);
+  EXPECT_LT(chain_cost, cross_cost);
+
+  // The old model's numbers, for the record: sorted prefix products give
+  // chain = 100 + 100·100 = 10100 and cross = 50 + 50·100 = 5050.
+  EXPECT_LT(chain_cost, 5050.0);
+}
+
+TEST_F(PlannerTest, BoundConstantsAndRepeatsReduceCost) {
+  Query open = Parse("po(X, Y) :- big(X, Y).");
+  Query constant = Parse("pk(X) :- big(X, 7).");
+  Query repeated = Parse("pr(X) :- big(X, X).");
+  ExtentStats stats;
+  stats.cardinality[cat_.FindPredicate("big").value()] = 10000;
+  EXPECT_LT(EstimatePlanCost(constant, stats), EstimatePlanCost(open, stats));
+  EXPECT_LT(EstimatePlanCost(repeated, stats), EstimatePlanCost(open, stats));
+}
+
+TEST_F(PlannerTest, CostOrderingTracksActualEvalStats) {
+  // The model's claim — connected joins beat cross products — validated
+  // against the evaluator's own intermediate-row counters on real data.
+  Query chain = Parse("qc(X, Z) :- e1(X, Y), e2(Y, Z).");
+  Query cross = Parse("qx(X, Z) :- e1(X, Y), e3(Z, W).");
+  Database db(&cat_);
+  PredId e1 = cat_.FindPredicate("e1").value();
+  PredId e2 = cat_.FindPredicate("e2").value();
+  PredId e3 = cat_.FindPredicate("e3").value();
+  for (int i = 0; i < 100; ++i) {
+    db.Add(e1, {i % 30, (i * 7) % 30});
+    db.Add(e2, {(i * 3) % 30, i % 30});
+    if (i < 50) db.Add(e3, {i % 30, (i * 11) % 30});
+  }
+  EvalStats chain_stats;
+  ASSERT_TRUE(EvaluateQuery(chain, db, {}, &chain_stats).ok());
+  EvalStats cross_stats;
+  ASSERT_TRUE(EvaluateQuery(cross, db, {}, &cross_stats).ok());
+  ASSERT_LT(chain_stats.intermediate_rows, cross_stats.intermediate_rows);
+
+  ExtentStats stats = ExtentStats::FromDatabase(db);
+  EXPECT_LT(EstimatePlanCost(chain, stats), EstimatePlanCost(cross, stats));
+}
+
+TEST_F(PlannerTest, PlansComeFromAllEnginesWithProvenance) {
+  Query q = Parse("q(X, Z) :- e(X, Y), f(Y, Z).");
+  ViewSet vs = Views(
+      "ve(A, B) :- e(A, B).\n"
+      "vf(B, C) :- f(B, C).\n"
+      "vj(A, C) :- e(A, B), f(B, C).");
+  PlannerResult res = ChooseBestPlan(q, vs, {}, {}).value();
+  ASSERT_GE(res.plans.size(), 2u);
+  bool has_engine_plan = false;
+  bool has_direct_plan = false;
+  for (const PlanChoice& plan : res.plans) {
+    EXPECT_FALSE(plan.engine.empty());
+    if (plan.engine == "direct") {
+      has_direct_plan = true;
+      EXPECT_FALSE(plan.complete);
+    } else {
+      has_engine_plan = true;
+    }
+  }
+  EXPECT_TRUE(has_engine_plan);
+  EXPECT_TRUE(has_direct_plan);
+  EXPECT_GT(res.stats.num_candidates, 0u);
+}
+
+TEST_F(PlannerTest, EngineSubsetRestrictsPlanSources) {
+  Query q = Parse("q2(X, Z) :- g2(X, Y), h2(Y, Z).");
+  ViewSet vs = Views("vgh(A, C) :- g2(A, B), h2(B, C).");
+  PlannerOptions opts;
+  opts.engines = {"minicon"};
+  opts.include_direct_plan = false;
+  PlannerResult res = ChooseBestPlan(q, vs, {}, {}, opts).value();
+  ASSERT_FALSE(res.plans.empty());
+  for (const PlanChoice& plan : res.plans) {
+    EXPECT_EQ(plan.engine, "minicon");
+    EXPECT_TRUE(plan.complete);
+  }
+}
+
 TEST_F(PlannerTest, ChoosesPreJoinedViewWhenCheaper) {
   Query q = Parse("q(X, Z) :- e(X, Y), f(Y, Z).");
   ViewSet vs = Views(

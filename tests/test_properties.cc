@@ -241,7 +241,7 @@ TEST_P(ChainRewritingProperties, ContainedRewritingsAreSoundOnData) {
   Database base = MakeRandomDatabase(&cat_, ExtensionalPredicates(cat_),
                                      &rng_, dspec);
   Database extents = MaterializeViews(vs, base).value();
-  Relation certain = EvaluateRewritingUnion(mc, extents).value();
+  Relation certain = EvaluateRewritingUnion(q, mc, extents).value();
   Relation direct = EvaluateQuery(q, base).value();
   for (auto& row : certain.Rows()) {
     EXPECT_TRUE(direct.Contains(row));
@@ -273,7 +273,7 @@ TEST_P(ChainRewritingProperties, InverseRulesMatchMiniConAnswers) {
     EXPECT_EQ(ir_ans.size(), 0u);
     return;
   }
-  Relation mc_ans = EvaluateRewritingUnion(mc, extents).value();
+  Relation mc_ans = EvaluateRewritingUnion(q, mc, extents).value();
   EXPECT_TRUE(Relation::SameSet(mc_ans, ir_ans));
 }
 

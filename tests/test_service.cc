@@ -290,6 +290,23 @@ TEST(RewriteServiceTest, PerResponseFailuresDoNotFailTheBatch) {
   EXPECT_EQ(last.status.code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ServiceStatsTest, NearestRankPercentileSmallSamples) {
+  // True nearest-rank: the ceil(q*n)-th order statistic. Regression: the
+  // old rounding (q*(n-1)+0.5) reported the *larger* of 2 samples as p50.
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({}, 0.50), 0.0);
+
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({5.0}, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({5.0}, 0.95), 5.0);
+
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({1.0, 9.0}, 0.50), 1.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({1.0, 9.0}, 0.95), 9.0);
+
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({1.0, 5.0, 9.0}, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({1.0, 5.0, 9.0}, 0.95), 9.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({1.0, 5.0, 9.0}, 0.01), 1.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({1.0, 5.0, 9.0}, 1.00), 9.0);
+}
+
 TEST(RewriteServiceTest, BatchStatsAreConsistent) {
   ScenarioRequestBatch batch = MixedBatch(/*repeats=*/2);
   ServiceOptions options;

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Runs the benchmark suite and merges the per-binary google/benchmark JSON
-# reports into one perf-trajectory artifact (BENCH_PR3.json by default).
+# reports into one perf-trajectory artifact (BENCH_PR4.json by default).
 # The suite includes bench_f8_service (the concurrent batch-rewriting
-# service sweep); see docs/OPERATIONS.md for how to read the merged JSON.
+# service sweep) and bench_f9_answering (the end-to-end answering
+# pipeline: route x engine x scenario x data size); see docs/OPERATIONS.md
+# for how to read the merged JSON.
 #
 # Usage:
 #   tools/run_bench.sh [BUILD_DIR] [OUTPUT_JSON]
@@ -15,14 +17,14 @@
 #   AQV_BENCH_BINARIES     Space-separated subset of bench binary names
 #                          (default: every bench_* in BUILD_DIR/bench).
 #
-# CI smoke example (reduced work, engine + service benches only):
-#   AQV_BENCH_MIN_TIME=1x AQV_BENCH_BINARIES="bench_f7_engines bench_f8_service" \
-#     tools/run_bench.sh build BENCH_PR3.json
+# CI smoke example (reduced work, engine + answering benches only):
+#   AQV_BENCH_MIN_TIME=1x AQV_BENCH_BINARIES="bench_f7_engines bench_f9_answering" \
+#     tools/run_bench.sh build BENCH_PR4.json
 
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-OUTPUT=${2:-BENCH_PR3.json}
+OUTPUT=${2:-BENCH_PR4.json}
 REPETITIONS=${AQV_BENCH_REPETITIONS:-1}
 MIN_TIME=${AQV_BENCH_MIN_TIME:-}
 FILTER=${AQV_BENCH_FILTER:-}
