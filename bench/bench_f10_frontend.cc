@@ -1,0 +1,160 @@
+/// F10 — the frontend session layer: what the surface costs on top of the
+/// library it fronts. All variants drive the packaged LAV scenarios
+/// (workload/registry.h) rendered into the command syntax by
+/// frontend/replay.h, so the numbers reflect realistic session traffic:
+///
+///   BM_F10_ScriptReplay    parse + execute a whole scenario script
+///                          (views, every base fact, the query) into a
+///                          fresh Session — the command-ingest rate, in
+///                          commands/s.
+///   BM_F10_AnswerCommand   `answer route <r>` dispatched through a
+///                          preloaded Session (command parse + pipeline).
+///   BM_F10_AnswerApi       the same AnswerRequest called directly on
+///                          AnswerQuery — the floor; the gap to
+///                          AnswerCommand is the frontend dispatch tax.
+///
+/// The dispatch tax should stay in the noise: the frontend's job is
+/// plumbing, and this bench is the regression guard on that claim.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "answering/answering.h"
+#include "bench_common.h"
+#include "frontend/replay.h"
+#include "frontend/session.h"
+#include "workload/registry.h"
+
+namespace aqv {
+namespace {
+
+struct F10Setup {
+  std::unique_ptr<Scenario> scenario;
+  std::string script;
+};
+
+F10Setup MakeSetup(const std::string& scenario_name, int db_size) {
+  F10Setup setup;
+  setup.scenario = std::make_unique<Scenario>(bench::Unwrap(
+      MakeScenarioByName(scenario_name, /*seed=*/21, db_size), "scenario"));
+  setup.script =
+      bench::Unwrap(ScriptFromScenario(*setup.scenario), "script");
+  return setup;
+}
+
+void RunScriptReplay(benchmark::State& state,
+                     const std::string& scenario_name) {
+  F10Setup setup = MakeSetup(scenario_name, static_cast<int>(state.range(0)));
+  size_t commands = 0;
+  for (auto _ : state) {
+    Session session;
+    std::vector<CommandResult> results = session.ExecuteScript(setup.script);
+    commands = session.commands_executed();
+    for (const CommandResult& r : results) {
+      if (!r.ok()) {
+        state.SkipWithError(r.status.ToString().c_str());
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(commands));
+  state.counters["commands"] = static_cast<double>(commands);
+}
+
+void RunAnswerCommand(benchmark::State& state,
+                      const std::string& scenario_name,
+                      const std::string& route) {
+  F10Setup setup = MakeSetup(scenario_name, static_cast<int>(state.range(0)));
+  Session session;
+  for (const CommandResult& r : session.ExecuteScript(setup.script)) {
+    if (!r.ok()) {
+      state.SkipWithError(r.status.ToString().c_str());
+      return;
+    }
+  }
+  std::string command = "answer route " + route;
+  size_t answers = 0;
+  for (auto _ : state) {
+    CommandResult result = session.Execute(command);
+    if (!result.ok()) {
+      state.SkipWithError(result.status.ToString().c_str());
+      return;
+    }
+    answers = static_cast<size_t>(
+        std::count(result.output.begin(), result.output.end(), '\n'));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+void RunAnswerApi(benchmark::State& state, const std::string& scenario_name,
+                  AnswerRoute route) {
+  F10Setup setup = MakeSetup(scenario_name, static_cast<int>(state.range(0)));
+  AnswerRequest request;
+  request.query.disjuncts.push_back(setup.scenario->query);
+  request.views = &setup.scenario->views;
+  request.base = &setup.scenario->base;
+  request.route = route;
+  size_t answers = 0;
+  for (auto _ : state) {
+    AnswerResponse response;
+    if (!bench::UnwrapOrSkip(AnswerQuery(request), state, &response)) return;
+    answers = response.result.size();
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+void F10Args(benchmark::internal::Benchmark* b) {
+  b->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+}
+
+void RegisterAll() {
+  for (const std::string& scenario : ScenarioNames()) {
+    std::string replay = "BM_F10_ScriptReplay/" + scenario;
+    benchmark::RegisterBenchmark(
+        replay.c_str(),
+        [scenario](benchmark::State& state) {
+          RunScriptReplay(state, scenario);
+        })
+        ->Apply(F10Args);
+    for (const std::string& route : {std::string("direct"),
+                                     std::string("complete"),
+                                     std::string("cost")}) {
+      std::string cmd = "BM_F10_AnswerCommand/" + scenario + "/" + route;
+      benchmark::RegisterBenchmark(
+          cmd.c_str(),
+          [scenario, route](benchmark::State& state) {
+            RunAnswerCommand(state, scenario, route);
+          })
+          ->Apply(F10Args);
+    }
+    std::string api = "BM_F10_AnswerApi/" + scenario + "/direct";
+    benchmark::RegisterBenchmark(
+        api.c_str(),
+        [scenario](benchmark::State& state) {
+          RunAnswerApi(state, scenario, AnswerRoute::kDirect);
+        })
+        ->Apply(F10Args);
+  }
+}
+
+}  // namespace
+}  // namespace aqv
+
+int main(int argc, char** argv) {
+  aqv::bench::Banner("F10", "frontend session layer: script replay and "
+                            "command dispatch over the answering pipeline");
+  aqv::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

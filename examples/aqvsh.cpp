@@ -1,272 +1,100 @@
-// aqvsh — a tiny interactive shell over the aqv library: define views, set
-// a query, load facts, then ask for rewritings and answers. Every command
-// maps to one public API call, so the transcript doubles as a tutorial.
+// aqvsh — the interactive shell and script runner over the frontend
+// Session (frontend/session.h): define views, set a query, load facts,
+// then ask for rewritings, answers, and cost plans. The shell is a thin
+// transport — every command is dispatched by the library-level Session,
+// so the same surface works over the TCP server (frontend/server.h) and
+// is what the docs transcripts replay verbatim.
 //
-//   $ ./aqvsh
+//   $ ./aqvsh                      # interactive REPL
 //   aqv> view v(X, Y) :- edge(X, Y), checked(Y).
 //   aqv> query q(X, Z) :- edge(X, Y), checked(Y), edge(Y, Z).
 //   aqv> fact edge(1, 2).
-//   aqv> fact checked(2).
-//   aqv> fact edge(2, 3).
-//   aqv> rewrite
-//   aqv> answers
+//   aqv> rewrite with lmss
+//   aqv> answer route direct
 //
-// Commands: view, query, fact, show, rewrite, certain, answers, help, quit.
-// Also accepts a script on stdin (one command per line).
+//   $ ./aqvsh demo.aqv             # script mode: run files, then exit
+//   $ ./aqvsh < demo.aqv           # ditto, from stdin
+//
+// In non-interactive mode diagnostics go to stderr and the exit code is
+// nonzero when any command failed — scripts can gate CI. Commands and
+// syntax: `help`, docs/FRONTEND.md, docs/QUERY_LANGUAGE.md.
 
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
-#include <optional>
-#include <sstream>
 #include <string>
 
-#include "cq/parser.h"
-#include "eval/certain.h"
-#include "eval/evaluator.h"
-#include "eval/materialize.h"
-#include "rewriting/bucket.h"
-#include "rewriting/inverse_rules.h"
-#include "rewriting/lmss.h"
-#include "rewriting/minicon.h"
-#include "views/expansion.h"
+#include "frontend/session.h"
 
 using namespace aqv;
 
 namespace {
 
-class Shell {
- public:
-  int Run() {
-    std::string line;
-    Prompt();
-    while (std::getline(std::cin, line)) {
-      if (!Dispatch(line)) break;
-      Prompt();
-    }
-    return 0;
+/// Runs one line stream through `session`. Payload goes to stdout, error
+/// diagnostics (prefixed with `name:line:` in script mode) to stderr.
+/// Returns the number of failed commands; sets *quit on quit/exit.
+int RunStream(Session& session, std::istream& in, const std::string& name,
+              bool interactive, bool* quit) {
+  int errors = 0;
+  int line_no = 0;
+  std::string line;
+  if (interactive) {
+    std::printf("aqv> ");
+    std::fflush(stdout);
   }
-
- private:
-  void Prompt() {
-    if (interactive_) {
+  while (std::getline(in, line)) {
+    ++line_no;
+    CommandResult result = session.Execute(line);
+    if (!result.output.empty()) {
+      std::printf("%s\n", result.output.c_str());
+    }
+    if (!result.status.ok()) {
+      ++errors;
+      if (interactive) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.status.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "%s:%d: error: %s\n", name.c_str(), line_no,
+                     result.status.ToString().c_str());
+      }
+    }
+    if (result.quit) {
+      *quit = true;
+      return errors;
+    }
+    if (interactive) {
       std::printf("aqv> ");
       std::fflush(stdout);
     }
   }
-
-  static std::string Trim(const std::string& s) {
-    size_t b = s.find_first_not_of(" \t\r\n");
-    if (b == std::string::npos) return "";
-    size_t e = s.find_last_not_of(" \t\r\n");
-    return s.substr(b, e - b + 1);
-  }
-
-  bool Dispatch(const std::string& raw) {
-    std::string line = Trim(raw);
-    if (line.empty() || line[0] == '%' || line[0] == '#') return true;
-    std::istringstream in(line);
-    std::string cmd;
-    in >> cmd;
-    std::string rest = Trim(line.substr(cmd.size()));
-    if (cmd == "quit" || cmd == "exit") return false;
-    if (cmd == "help") {
-      Help();
-    } else if (cmd == "view") {
-      CmdView(rest);
-    } else if (cmd == "query") {
-      CmdQuery(rest);
-    } else if (cmd == "fact") {
-      CmdFact(rest);
-    } else if (cmd == "show") {
-      CmdShow();
-    } else if (cmd == "rewrite") {
-      CmdRewrite();
-    } else if (cmd == "certain") {
-      CmdCertain();
-    } else if (cmd == "answers") {
-      CmdAnswers();
-    } else {
-      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
-    }
-    return true;
-  }
-
-  void Help() {
-    std::printf(
-        "  view <rule>.     add a view, e.g. view v(X) :- r(X, Y).\n"
-        "  query <rule>.    set the query\n"
-        "  fact p(1, a).    add a ground fact to the base database\n"
-        "  show             print the current problem\n"
-        "  rewrite          run LMSS / Bucket / MiniCon / inverse rules\n"
-        "  certain          certain answers from view extents only\n"
-        "  answers          compare direct vs rewriting answers\n"
-        "  quit             leave\n");
-  }
-
-  void CmdView(const std::string& text) {
-    auto q = ParseQuery(text, &catalog_);
-    if (!q.ok()) {
-      std::printf("error: %s\n", q.status().ToString().c_str());
-      return;
-    }
-    Status st = views_.Add(std::move(q).value());
-    if (!st.ok()) {
-      std::printf("error: %s\n", st.ToString().c_str());
-      return;
-    }
-    std::printf("added view %s\n",
-                views_.view(views_.size() - 1).name().c_str());
-  }
-
-  void CmdQuery(const std::string& text) {
-    auto q = ParseQuery(text, &catalog_);
-    if (!q.ok()) {
-      std::printf("error: %s\n", q.status().ToString().c_str());
-      return;
-    }
-    query_ = std::move(q).value();
-    std::printf("query set: %s\n", query_->ToString().c_str());
-  }
-
-  void CmdFact(const std::string& text) {
-    // Reuse the rule parser: a fact is a rule with an empty body, but its
-    // head predicate must stay extensional, so parse via a scratch rule.
-    auto parsed = ParseQuery(text, &catalog_);
-    if (!parsed.ok()) {
-      std::printf("error: %s\n", parsed.status().ToString().c_str());
-      return;
-    }
-    const Query& fact = parsed.value();
-    if (!fact.body().empty() || fact.num_vars() != 0) {
-      std::printf("error: facts must be ground atoms like p(1, 2).\n");
-      return;
-    }
-    catalog_.SetPredKind(fact.head().pred, PredKind::kExtensional);
-    std::vector<Value> row;
-    for (Term t : fact.head().args) {
-      row.push_back(ValueOfConstant(catalog_, t.constant()));
-    }
-    base_.Add(fact.head().pred, row);
-    std::printf("ok (%llu tuples total)\n",
-                static_cast<unsigned long long>(base_.TotalTuples()));
-  }
-
-  void CmdShow() {
-    if (query_.has_value()) {
-      std::printf("query: %s\n", query_->ToString().c_str());
-    } else {
-      std::printf("query: (none)\n");
-    }
-    for (const View& v : views_.views()) {
-      std::printf("view:  %s\n", v.definition.ToString().c_str());
-    }
-    for (PredId p : base_.Predicates()) {
-      std::printf("base:  %s has %zu tuples\n",
-                  catalog_.pred(p).name.c_str(), base_.Find(p)->size());
-    }
-  }
-
-  bool Ready() {
-    if (!query_.has_value()) {
-      std::printf("set a query first\n");
-      return false;
-    }
-    if (views_.empty()) {
-      std::printf("add at least one view first\n");
-      return false;
-    }
-    return true;
-  }
-
-  void CmdRewrite() {
-    if (!Ready()) return;
-    LmssOptions opts;
-    opts.max_rewritings = 10;
-    auto lmss = FindEquivalentRewritings(*query_, views_, opts);
-    if (!lmss.ok()) {
-      std::printf("LMSS error: %s\n", lmss.status().ToString().c_str());
-      return;
-    }
-    if (lmss->exists) {
-      std::printf("equivalent rewritings:\n");
-      for (const Query& rw : lmss->rewritings) {
-        std::printf("  %s\n", rw.ToString().c_str());
-      }
-    } else {
-      std::printf("no equivalent rewriting\n");
-    }
-    auto mc = MiniConRewrite(*query_, views_);
-    if (mc.ok()) {
-      std::printf("maximally-contained union (%d disjuncts):\n",
-                  mc->rewritings.size());
-      for (const Query& rw : mc->rewritings.disjuncts) {
-        std::printf("  %s\n", rw.ToString().c_str());
-      }
-    }
-    auto ir = BuildInverseRules(views_);
-    if (ir.ok()) {
-      std::printf("inverse rules:\n%s", ir->ToString(catalog_).c_str());
-    }
-  }
-
-  void CmdCertain() {
-    if (!Ready()) return;
-    auto extents = MaterializeViews(views_, base_);
-    if (!extents.ok()) {
-      std::printf("error: %s\n", extents.status().ToString().c_str());
-      return;
-    }
-    auto ir = BuildInverseRules(views_);
-    if (!ir.ok()) {
-      std::printf("error: %s\n", ir.status().ToString().c_str());
-      return;
-    }
-    auto ans = CertainAnswersViaInverseRules(*query_, ir.value(),
-                                             extents.value());
-    if (!ans.ok()) {
-      std::printf("error: %s\n", ans.status().ToString().c_str());
-      return;
-    }
-    std::printf("certain answers from extents alone:\n%s",
-                ans.value().ToString(catalog_).c_str());
-  }
-
-  void CmdAnswers() {
-    if (!Ready()) return;
-    auto direct = EvaluateQuery(*query_, base_);
-    if (!direct.ok()) {
-      std::printf("error: %s\n", direct.status().ToString().c_str());
-      return;
-    }
-    std::printf("direct answers:\n%s",
-                direct.value().ToString(catalog_).c_str());
-    LmssOptions opts;
-    auto lmss = FindEquivalentRewritings(*query_, views_, opts);
-    if (lmss.ok() && lmss->exists) {
-      auto extents = MaterializeViews(views_, base_);
-      if (extents.ok()) {
-        auto via = EvaluateQuery(lmss->rewritings[0], extents.value());
-        if (via.ok()) {
-          std::printf("via rewriting %s:\n%s",
-                      lmss->rewritings[0].ToString().c_str(),
-                      via.value().ToString(catalog_).c_str());
-        }
-      }
-    }
-  }
-
-  bool interactive_ = isatty(0);
-  Catalog catalog_;
-  ViewSet views_;
-  std::optional<Query> query_;
-  Database base_{&catalog_};
-};
+  return errors;
+}
 
 }  // namespace
 
-int main() {
-  Shell shell;
-  return shell.Run();
+int main(int argc, char** argv) {
+  Session session;
+  bool quit = false;
+  int errors = 0;
+  if (argc > 1) {
+    for (int i = 1; i < argc && !quit; ++i) {
+      std::string path = argv[i];
+      std::ifstream file(path);
+      if (!file) {
+        std::fprintf(stderr, "aqvsh: cannot open '%s'\n", path.c_str());
+        return 1;
+      }
+      errors += RunStream(session, file, path, /*interactive=*/false, &quit);
+    }
+    return errors > 0 ? 1 : 0;
+  }
+  bool interactive = isatty(0);
+  errors = RunStream(session, std::cin, "<stdin>", interactive, &quit);
+  if (interactive) {
+    std::printf("\n");
+    return 0;  // exploratory errors don't fail an interactive session
+  }
+  return errors > 0 ? 1 : 0;
 }

@@ -263,6 +263,59 @@ Result<Query> ParseQuery(std::string_view text, Catalog* catalog) {
   return q;
 }
 
+Result<Atom> ParseFact(std::string_view text, Catalog* catalog) {
+  Lexer lexer(text);
+  AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  size_t cursor = 0;
+  auto peek = [&]() -> const Token& {
+    return cursor < tokens.size() ? tokens[cursor] : tokens.back();
+  };
+  auto err = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(peek().pos) + " (near '" +
+                              peek().text + "')");
+  };
+  if (peek().kind != TokKind::kIdent) return err("expected predicate name");
+  std::string name = peek().text;
+  ++cursor;
+  if (peek().kind != TokKind::kLParen) return err("expected '('");
+  ++cursor;
+  std::vector<Term> args;
+  if (peek().kind != TokKind::kRParen) {
+    while (true) {
+      if (peek().kind == TokKind::kVariable) {
+        return err("facts must be ground: variable '" + peek().text + "'");
+      }
+      if (peek().kind != TokKind::kIdent &&
+          peek().kind != TokKind::kInteger) {
+        return err("expected constant");
+      }
+      args.push_back(Term::Const(catalog->InternConstant(peek().text)));
+      ++cursor;
+      if (peek().kind == TokKind::kComma) {
+        ++cursor;
+        continue;
+      }
+      break;
+    }
+  }
+  if (peek().kind != TokKind::kRParen) return err("expected ')'");
+  ++cursor;
+  if (peek().kind != TokKind::kPeriod) return err("expected '.' after fact");
+  ++cursor;
+  if (peek().kind != TokKind::kEnd) return err("trailing input after fact");
+  AQV_ASSIGN_OR_RETURN(
+      PredId pred,
+      catalog->GetOrAddPredicate(name, static_cast<int>(args.size()),
+                                 PredKind::kExtensional));
+  if (catalog->pred(pred).kind == PredKind::kIntensional) {
+    return Status::InvalidArgument(
+        "cannot add facts to intensional predicate '" + name +
+        "' (a query or view head)");
+  }
+  return Atom(pred, std::move(args));
+}
+
 Result<std::vector<Query>> ParseProgram(std::string_view text,
                                         Catalog* catalog) {
   Lexer lexer(text);

@@ -4,6 +4,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cq/atom.h"
 #include "cq/catalog.h"
 #include "cq/query.h"
 #include "util/status.h"
@@ -22,11 +23,26 @@ namespace aqv {
 /// The head predicate is registered as intensional in `catalog`; body
 /// predicates default to extensional. Arity consistency is enforced against
 /// previous uses. The returned query is Validate()d.
+///
+/// The complete surface-syntax reference — grammar, lexing rules, the
+/// operand-swap normalization, and the error catalogue — lives in
+/// docs/QUERY_LANGUAGE.md.
 Result<Query> ParseQuery(std::string_view text, Catalog* catalog);
 
 /// Parses a newline/period-separated sequence of rules.
 Result<std::vector<Query>> ParseProgram(std::string_view text,
                                         Catalog* catalog);
+
+/// \brief Parses one ground fact:
+///
+///   edge(1, 2).      flight(paris, 7, 10000).
+///
+/// Every argument must be a constant (integer literal or lowercase
+/// identifier); variables are a parse error, because facts denote stored
+/// tuples. The predicate is registered extensional with the fact's arity;
+/// adding facts to an intensional predicate (a query or view head) is
+/// kInvalidArgument — views have extents, not facts.
+Result<Atom> ParseFact(std::string_view text, Catalog* catalog);
 
 }  // namespace aqv
 

@@ -1,0 +1,70 @@
+#include "frontend/replay.h"
+
+#include <cctype>
+
+#include "eval/relation.h"
+#include "eval/value.h"
+
+namespace aqv {
+
+namespace {
+
+/// True when `text` lexes back as a single constant token: an integer
+/// literal or a lowercase identifier (docs/QUERY_LANGUAGE.md).
+bool IsWritableConstant(const std::string& text) {
+  if (text.empty()) return false;
+  size_t i = 0;
+  if (text[0] == '-') i = 1;
+  if (i < text.size() &&
+      std::isdigit(static_cast<unsigned char>(text[i]))) {
+    for (; i < text.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(text[i]))) return false;
+    }
+    return true;
+  }
+  if (!std::islower(static_cast<unsigned char>(text[0]))) return false;
+  for (char c : text) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::string> ScriptFromScenario(const Scenario& scenario) {
+  const Catalog& catalog = *scenario.catalog;
+  std::string out = "% scenario: " + scenario.description + "\n";
+  for (const View& v : scenario.views.views()) {
+    out += "view " + v.definition.ToString() + "\n";
+  }
+  for (PredId p : scenario.base.Predicates()) {
+    const Relation* rel = scenario.base.Find(p);
+    if (rel == nullptr || rel->empty()) continue;
+    const std::string& pred = catalog.pred(p).name;
+    for (size_t i = 0; i < rel->size(); ++i) {
+      out += "fact " + pred + "(";
+      for (int c = 0; c < rel->arity(); ++c) {
+        Value v = rel->at(i, c);
+        if (IsSkolem(v)) {
+          return Status::InvalidArgument(
+              "base relation '" + pred +
+              "' holds a Skolem value; not expressible as a fact");
+        }
+        std::string text = ValueToString(catalog, v);
+        if (!IsWritableConstant(text)) {
+          return Status::InvalidArgument("constant '" + text +
+                                         "' does not lex as a constant");
+        }
+        if (c > 0) out += ", ";
+        out += text;
+      }
+      out += ").\n";
+    }
+  }
+  out += "query " + scenario.query.ToString() + "\n";
+  return out;
+}
+
+}  // namespace aqv

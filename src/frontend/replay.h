@@ -1,0 +1,29 @@
+/// \file
+/// Workload → frontend bridge: renders a packaged LAV scenario
+/// (workload/scenarios.h) as an aqvsh/Session command script — one `view`
+/// command per view rule, one `fact` per base tuple, then the scenario
+/// query. Replaying the script through a Session round-trips the whole
+/// problem through the surface syntax (docs/QUERY_LANGUAGE.md), which is
+/// how the frontend tests and bench_f10_frontend drive realistic session
+/// traffic instead of hand-typed toys.
+
+#ifndef AQV_FRONTEND_REPLAY_H_
+#define AQV_FRONTEND_REPLAY_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "workload/scenarios.h"
+
+namespace aqv {
+
+/// \brief Renders `scenario` as a command script: `view` lines in view-set
+/// order, `fact` lines per base relation in PredId order (row order as
+/// stored), and a final `query` line. kInvalidArgument when a base value
+/// cannot be written in the surface syntax (a Skolem, or a symbolic
+/// constant that does not lex as a constant token).
+Result<std::string> ScriptFromScenario(const Scenario& scenario);
+
+}  // namespace aqv
+
+#endif  // AQV_FRONTEND_REPLAY_H_

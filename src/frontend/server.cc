@@ -1,0 +1,215 @@
+#include "frontend/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "containment/oracle.h"
+
+namespace aqv {
+
+namespace {
+
+Status SocketError(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Loops ::send until the whole string is on the wire (or the peer is
+/// gone). MSG_NOSIGNAL: a vanished client must not SIGPIPE the server.
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+FrontendServer::FrontendServer(ServerOptions options)
+    : options_(std::move(options)) {
+  // Oracles are per-connection (catalog lifetimes; see the header), so
+  // the shared service must respect each request's own oracle pointer.
+  options_.service.share_oracle = false;
+  service_ = std::make_unique<RewriteService>(options_.service);
+}
+
+FrontendServer::~FrontendServer() { Stop(); }
+
+Status FrontendServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::Internal("server already started");
+    started_ = true;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return SocketError("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address '" + options_.host +
+                                   "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return SocketError("bind to " + options_.host + ":" +
+                       std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 64) < 0) return SocketError("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    return SocketError("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread(&FrontendServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void FrontendServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  // Wake the accept loop; it exits on the failed accept.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Wake every handler blocked in recv. Handlers erase themselves from
+    // live_fds_ before closing, so each fd here is still open.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // The accept thread is joined, so conn_threads_ no longer grows.
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void FrontendServer::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Stop() shut the listener down (or it died).
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    ReapFinishedLocked();
+    if (static_cast<int>(live_fds_.size()) >= options_.max_connections) {
+      SendAll(fd, "err ResourceExhausted: connection limit (" +
+                      std::to_string(options_.max_connections) +
+                      ") reached\n");
+      ::close(fd);
+      continue;
+    }
+    live_fds_.insert(fd);
+    accepted_.fetch_add(1);
+    conn_threads_.emplace_back(&FrontendServer::HandleConnection, this, fd);
+  }
+}
+
+void FrontendServer::ReapFinishedLocked() {
+  if (finished_ids_.empty()) return;
+  for (auto it = conn_threads_.begin(); it != conn_threads_.end();) {
+    auto fid =
+        std::find(finished_ids_.begin(), finished_ids_.end(), it->get_id());
+    if (fid != finished_ids_.end()) {
+      it->join();  // already exited; returns immediately
+      finished_ids_.erase(fid);
+      it = conn_threads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string FrontendServer::RespondTo(Session& session,
+                                      const std::string& line, bool* quit) {
+  // STATS: the wire-level alias surfacing the shared service's stats.
+  CommandResult result =
+      session.Execute(line == "STATS" ? "show stats" : line);
+  std::string response = result.output;
+  if (!response.empty()) response += '\n';
+  if (result.quit) {
+    *quit = true;
+    response += "ok\n";
+  } else if (result.status.ok()) {
+    response += "ok\n";
+  } else {
+    response += "err " + result.status.ToString() + "\n";
+  }
+  return response;
+}
+
+void FrontendServer::HandleConnection(int fd) {
+  // Connection-lifetime oracle, declared before the Session so every
+  // catalog whose queries pass through it (including `reset`-retired
+  // ones, which the Session keeps alive) outlives it.
+  ContainmentOracle oracle(options_.service.oracle_max_entries,
+                           options_.service.oracle_shards);
+  SessionOptions session_options = options_.session;
+  session_options.service = service_.get();
+  session_options.enable_load = false;
+  session_options.engine.oracle = &oracle;
+  Session session(session_options);
+
+  const std::string line_cap_error =
+      "err InvalidArgument: line exceeds " +
+      std::to_string(options_.max_line_bytes) + " bytes\n";
+  std::string carry;
+  char buf[4096];
+  bool open = true;
+  while (open) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    carry.append(buf, static_cast<size_t>(n));
+    size_t nl;
+    while (open && (nl = carry.find('\n')) != std::string::npos) {
+      if (nl > options_.max_line_bytes) {
+        SendAll(fd, line_cap_error);
+        open = false;
+        break;
+      }
+      std::string line = carry.substr(0, nl);
+      carry.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      bool quit = false;
+      if (!SendAll(fd, RespondTo(session, line, &quit))) open = false;
+      if (quit) open = false;
+    }
+    if (open && carry.size() > options_.max_line_bytes) {
+      SendAll(fd, line_cap_error);
+      open = false;
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_fds_.erase(fd);
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_ids_.push_back(std::this_thread::get_id());
+}
+
+}  // namespace aqv

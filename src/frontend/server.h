@@ -1,0 +1,129 @@
+/// \file
+/// The TCP line-protocol transport of the frontend: a FrontendServer
+/// accepts concurrent client connections, gives each its own Session
+/// (frontend/session.h), and multiplexes every session's rewrite and
+/// answering jobs onto one shared RewriteService (service/service.h) — so
+/// N clients share one worker pool while their problem state stays fully
+/// isolated per connection. Each connection also gets its own sharded
+/// ContainmentOracle (service share_oracle is off): the oracle contract
+/// (containment/oracle.h) requires every catalog to outlive the oracle
+/// its queries pass through, and connection catalogs die at disconnect —
+/// a server-lifetime cache would accumulate dead-catalog entries and
+/// could match stale ones at a reused address.
+///
+/// Protocol (one command per '\n'-terminated line, as in aqvsh):
+///
+///   client:  view v(X) :- e(X, Y).\n
+///   server:  added view v\n
+///            ok\n
+///   client:  bogus\n
+///   server:  err InvalidArgument: unknown command 'bogus' (try 'help')\n
+///
+/// Every response is zero or more payload lines followed by exactly one
+/// terminator line: `ok`, or `err <Code>: <message>`. Payload lines are
+/// the session's CommandResult output verbatim; no payload line the
+/// frontend emits is ever the bare word `ok` or starts with `err `, so a
+/// client can parse responses by scanning for the terminator. `STATS` is
+/// accepted as an alias for `show stats` (surfacing the shared service's
+/// ServiceStats); `quit` answers `ok` and closes the connection. `load`
+/// is disabled on server sessions — scripts run client-side. The full
+/// protocol spec lives in docs/OPERATIONS.md.
+
+#ifndef AQV_FRONTEND_SERVER_H_
+#define AQV_FRONTEND_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "frontend/session.h"
+#include "service/service.h"
+#include "util/status.h"
+
+namespace aqv {
+
+/// Construction-time knobs of a FrontendServer.
+struct ServerOptions {
+  /// Bind address. Loopback by default: the protocol is unauthenticated.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the OS for an ephemeral one (read it back via
+  /// port() after Start()).
+  int port = 0;
+  /// Concurrent-connection cap; excess connections are refused with an
+  /// `err ResourceExhausted` terminator and closed.
+  int max_connections = 64;
+  /// Longest accepted command line; a longer one kills its connection.
+  size_t max_line_bytes = 64 * 1024;
+  /// The backing RewriteService (workers, budgets). `share_oracle` is
+  /// forced off: oracles are per-connection (see the \file comment), and
+  /// the oracle knobs below size each connection's own cache.
+  ServiceOptions service;
+  /// Template for per-connection sessions; `service` and `enable_load`
+  /// are overwritten (the shared service wired in, load disabled).
+  SessionOptions session;
+};
+
+/// \brief Line-protocol TCP server over per-connection Sessions and one
+/// shared RewriteService. Thread model: one accept thread plus one thread
+/// per live connection; Start/Stop may be called from any thread, once
+/// each (Stop is also run by the destructor).
+class FrontendServer {
+ public:
+  explicit FrontendServer(ServerOptions options = {});
+  ~FrontendServer();
+
+  FrontendServer(const FrontendServer&) = delete;
+  FrontendServer& operator=(const FrontendServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop. kInternal on socket
+  /// errors (port in use, bad host, ...).
+  Status Start();
+
+  /// Stops accepting, shuts down every live connection, and joins all
+  /// threads. Idempotent; safe to call while clients are mid-command
+  /// (their in-flight service jobs complete — the service drains).
+  void Stop();
+
+  /// The resolved listening port (after Start()).
+  int port() const { return port_; }
+  const ServerOptions& options() const { return options_; }
+  RewriteService& service() { return *service_; }
+  uint64_t connections_accepted() const { return accepted_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Joins and discards connection threads that have finished (handlers
+  /// record their id in finished_ids_ on exit). Requires mu_.
+  void ReapFinishedLocked();
+  /// Executes one protocol line on `session`, returning the full wire
+  /// response (payload + terminator). Sets *quit for `quit`/`exit`.
+  std::string RespondTo(Session& session, const std::string& line,
+                        bool* quit);
+
+  ServerOptions options_;
+  std::unique_ptr<RewriteService> service_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<uint64_t> accepted_{0};
+
+  std::mutex mu_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::unordered_set<int> live_fds_;
+  std::vector<std::thread> conn_threads_;
+  /// Ids of exited handler threads, pending a ReapFinishedLocked join —
+  /// reaped on every accept so a long-lived server does not accumulate
+  /// one finished thread per connection ever served.
+  std::vector<std::thread::id> finished_ids_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_FRONTEND_SERVER_H_

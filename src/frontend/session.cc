@@ -1,0 +1,568 @@
+#include "frontend/session.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "cq/parser.h"
+#include "eval/materialize.h"
+#include "eval/relation.h"
+#include "eval/value.h"
+
+namespace aqv {
+
+namespace {
+
+std::string Trim(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string_view::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+std::vector<std::string> SplitWords(const std::string& s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t b = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > b) out.push_back(s.substr(b, i - b));
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+void AppendLine(std::string* out, std::string_view line) {
+  if (!out->empty()) *out += '\n';
+  out->append(line);
+}
+
+std::string CountNoun(size_t n, const char* singular, const char* plural) {
+  return std::to_string(n) + " " + (n == 1 ? singular : plural);
+}
+
+std::string FormatCost(double cost) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", cost);
+  return buf;
+}
+
+/// Renders a relation's rows sorted and deduplicated, one "(v1, v2)" line
+/// each — the transcript-stable answer listing.
+std::string SortedRows(const Relation& rel, const Catalog& catalog) {
+  Relation sorted = rel;
+  sorted.SortDedup();
+  std::string text = sorted.ToString(catalog);
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+CommandResult Fail(Status status) {
+  CommandResult r;
+  r.status = std::move(status);
+  return r;
+}
+
+CommandResult Say(std::string output) {
+  CommandResult r;
+  r.output = std::move(output);
+  return r;
+}
+
+}  // namespace
+
+std::string TranscriptLines(const CommandResult& result) {
+  std::string out = result.output;
+  if (!result.status.ok()) {
+    AppendLine(&out, "error: " + result.status.ToString());
+  }
+  return out;
+}
+
+Session::Session(SessionOptions options)
+    : options_(std::move(options)),
+      catalog_(std::make_unique<Catalog>()),
+      base_(catalog_.get()) {}
+
+CommandResult Session::Execute(std::string_view line) {
+  std::string trimmed = Trim(line);
+  if (trimmed.empty() || trimmed[0] == '%' || trimmed[0] == '#') return {};
+  ++commands_;
+  size_t split = trimmed.find_first_of(" \t");
+  std::string cmd = trimmed.substr(0, split);
+  std::string rest =
+      split == std::string::npos ? "" : Trim(trimmed.substr(split));
+  if (cmd == "quit" || cmd == "exit") {
+    CommandResult r;
+    r.quit = true;
+    return r;
+  }
+  if (cmd == "help") return CmdHelp();
+  if (cmd == "view") return CmdView(rest);
+  if (cmd == "query") return CmdQuery(rest);
+  if (cmd == "fact") return CmdFact(rest);
+  if (cmd == "load") return CmdLoad(rest);
+  if (cmd == "show") return CmdShow(rest);
+  if (cmd == "rewrite") return CmdRewrite(rest);
+  if (cmd == "answer") return CmdAnswer(rest);
+  if (cmd == "explain") return CmdExplain();
+  if (cmd == "reset") return CmdReset();
+  return Fail(Status::InvalidArgument("unknown command '" + cmd +
+                                      "' (try 'help')"));
+}
+
+std::vector<CommandResult> Session::ExecuteScript(std::string_view text) {
+  std::vector<CommandResult> results;
+  for (const std::string& line : SplitLines(text)) {
+    results.push_back(Execute(line));
+    if (results.back().quit) break;
+  }
+  return results;
+}
+
+CommandResult Session::CmdHelp() {
+  return Say(
+      "commands:\n"
+      "  view <rule(s)>    add view definition(s), e.g. view v(X) :- e(X, "
+      "Y).\n"
+      "  query <rule(s)>   set the query (several rules = a union query)\n"
+      "  fact <atom>.      add a ground fact, e.g. fact e(1, 2).\n"
+      "  load <path>       run a script of commands from a file\n"
+      "  show views|facts|engines|stats\n"
+      "  rewrite [with <engine>]\n"
+      "  answer [route <route>] [with <engine>]\n"
+      "  explain           cost-rank every equivalent plan\n"
+      "  reset             drop views, facts, and the query\n"
+      "  help              this text\n"
+      "  quit              end the session\n"
+      "engines: lmss, bucket, minicon, ucq\n"
+      "routes: direct, complete, inverse-rules, cost");
+}
+
+/// Snapshot of every predicate's kind, for rolling back the intensional
+/// marks ParseProgram applies to rule heads when a command fails partway:
+/// committed commands are all-or-nothing, and a failed one must not
+/// strand a predicate as intensional (which would block later `fact`s).
+class Session::KindSnapshot {
+ public:
+  explicit KindSnapshot(Catalog* catalog) : catalog_(catalog) {
+    kinds_.reserve(catalog->num_predicates());
+    for (PredId p = 0; p < catalog->num_predicates(); ++p) {
+      kinds_.push_back(catalog->pred(p).kind);
+    }
+  }
+
+  void Restore() {
+    for (PredId p = 0; p < static_cast<PredId>(kinds_.size()); ++p) {
+      catalog_->SetPredKind(p, kinds_[p]);
+    }
+    // Predicates the failed command introduced: body symbols are already
+    // extensional; head symbols must not stay intensional.
+    for (PredId p = static_cast<PredId>(kinds_.size());
+         p < catalog_->num_predicates(); ++p) {
+      catalog_->SetPredKind(p, PredKind::kExtensional);
+    }
+  }
+
+ private:
+  Catalog* catalog_;
+  std::vector<PredKind> kinds_;
+};
+
+CommandResult Session::CmdView(const std::string& rest) {
+  KindSnapshot snapshot(catalog_.get());
+  auto rules = ParseProgram(rest, catalog_.get());
+  if (!rules.ok()) {
+    snapshot.Restore();
+    return Fail(rules.status());
+  }
+  if (rules->empty()) {
+    return Fail(Status::InvalidArgument(
+        "usage: view <rule>, e.g. view v(X) :- e(X, Y)."));
+  }
+  // Pre-validate every rule so the command commits all-or-nothing (the
+  // checks below are exactly ViewSet::AddRule's failure modes plus the
+  // facts guard; parsing already Validate()d each rule).
+  for (const Query& rule : *rules) {
+    PredId pred = rule.head().pred;
+    const std::string& name = catalog_->pred(pred).name;
+    const Relation* facts = base_.Find(pred);
+    if (facts != nullptr && !facts->empty()) {
+      snapshot.Restore();
+      return Fail(Status::InvalidArgument(
+          "predicate '" + name +
+          "' already has facts; cannot redefine it as a view"));
+    }
+    for (const Atom& a : rule.body()) {
+      if (a.pred == pred) {
+        snapshot.Restore();
+        return Fail(Status::InvalidArgument("view '" + name +
+                                            "' refers to itself"));
+      }
+    }
+  }
+  std::string out;
+  for (Query& rule : *rules) {
+    PredId pred = rule.head().pred;
+    std::string name = catalog_->pred(pred).name;
+    Status st = views_.AddRule(std::move(rule));
+    if (!st.ok()) {
+      snapshot.Restore();
+      return Fail(std::move(st));
+    }
+    int rules_for_pred = 0;
+    for (const View& v : views_.views()) {
+      if (v.pred == pred) ++rules_for_pred;
+    }
+    if (rules_for_pred == 1) {
+      AppendLine(&out, "added view " + name);
+    } else {
+      AppendLine(&out, "added rule " + std::to_string(rules_for_pred) +
+                           " for view " + name + " (union source)");
+    }
+  }
+  return Say(std::move(out));
+}
+
+CommandResult Session::CmdQuery(const std::string& rest) {
+  KindSnapshot snapshot(catalog_.get());
+  auto rules = ParseProgram(rest, catalog_.get());
+  if (!rules.ok()) {
+    snapshot.Restore();
+    return Fail(rules.status());
+  }
+  if (rules->empty()) {
+    return Fail(Status::InvalidArgument(
+        "usage: query <rule>, e.g. query q(X) :- e(X, Y)."));
+  }
+  const Atom& head = rules->front().head();
+  for (const Query& d : *rules) {
+    if (d.head().pred != head.pred || d.head().arity() != head.arity()) {
+      snapshot.Restore();
+      return Fail(Status::InvalidArgument(
+          "query disjuncts disagree on the head predicate"));
+    }
+  }
+  const Relation* head_facts = base_.Find(head.pred);
+  if (head_facts != nullptr && !head_facts->empty()) {
+    snapshot.Restore();
+    return Fail(Status::InvalidArgument(
+        "predicate '" + catalog_->pred(head.pred).name +
+        "' already has facts; cannot use it as the query head"));
+  }
+  UnionQuery q;
+  q.disjuncts = std::move(*rules);
+  std::string out;
+  if (q.size() == 1) {
+    out = "query set: " + q.disjuncts[0].ToString();
+  } else {
+    out = "query set (" + std::to_string(q.size()) + " disjuncts):";
+    for (const Query& d : q.disjuncts) AppendLine(&out, "  " + d.ToString());
+  }
+  query_ = std::move(q);
+  return Say(std::move(out));
+}
+
+CommandResult Session::CmdFact(const std::string& rest) {
+  auto atom = ParseFact(rest, catalog_.get());
+  if (!atom.ok()) return Fail(atom.status());
+  std::vector<Value> row;
+  row.reserve(atom->args.size());
+  for (const Term& t : atom->args) {
+    row.push_back(ValueOfConstant(*catalog_, t.constant()));
+  }
+  base_.Add(atom->pred, row);
+  return Say("ok (" + CountNoun(base_.TotalTuples(), "fact", "facts") +
+             " total)");
+}
+
+CommandResult Session::CmdLoad(const std::string& rest) {
+  if (!options_.enable_load) {
+    return Fail(Status::Unimplemented("load is disabled in this session"));
+  }
+  if (rest.empty()) {
+    return Fail(Status::InvalidArgument("usage: load <path>"));
+  }
+  if (load_depth_ >= options_.max_load_depth) {
+    return Fail(Status::ResourceExhausted(
+        "load depth cap (" + std::to_string(options_.max_load_depth) +
+        ") reached"));
+  }
+  std::ifstream in(rest);
+  if (!in) return Fail(Status::NotFound("cannot open '" + rest + "'"));
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  uint64_t commands_before = commands_;
+  ++load_depth_;
+  std::vector<CommandResult> results = ExecuteScript(content);
+  --load_depth_;
+  std::string out;
+  size_t errors = 0;
+  bool quit = false;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CommandResult& r = results[i];
+    if (!r.output.empty()) AppendLine(&out, r.output);
+    if (!r.status.ok()) {
+      ++errors;
+      AppendLine(&out, rest + ":" + std::to_string(i + 1) +
+                           ": error: " + r.status.ToString());
+    }
+    if (r.quit) quit = true;
+  }
+  uint64_t executed = commands_ - commands_before;
+  AppendLine(&out, "loaded " + rest + " (" +
+                       CountNoun(executed, "command", "commands") + ", " +
+                       CountNoun(errors, "error", "errors") + ")");
+  CommandResult result = Say(std::move(out));
+  result.quit = quit;
+  if (errors > 0) {
+    result.status = Status::InvalidArgument(
+        "script '" + rest + "' had " + CountNoun(errors, "error", "errors"));
+  }
+  return result;
+}
+
+CommandResult Session::CmdShow(const std::string& rest) {
+  if (rest == "views") {
+    if (views_.empty()) return Say("(none)");
+    std::string out;
+    for (const View& v : views_.views()) {
+      AppendLine(&out, v.definition.ToString());
+    }
+    return Say(std::move(out));
+  }
+  if (rest == "facts") {
+    std::string out;
+    for (PredId p : base_.Predicates()) {
+      const Relation* rel = base_.Find(p);
+      if (rel == nullptr || rel->empty()) continue;
+      AppendLine(&out, catalog_->pred(p).name + ": " +
+                           CountNoun(rel->size(), "tuple", "tuples"));
+    }
+    if (out.empty()) return Say("(none)");
+    return Say(std::move(out));
+  }
+  if (rest == "engines") {
+    std::string out;
+    for (const std::string& name : EngineNames()) {
+      AppendLine(&out, name + (name == options_.default_engine
+                                   ? " (default)"
+                                   : ""));
+    }
+    return Say(std::move(out));
+  }
+  if (rest == "stats") {
+    std::string out = "session: commands=" + std::to_string(commands_) +
+                      " views=" + std::to_string(views_.size()) +
+                      " facts=" + std::to_string(base_.TotalTuples()) +
+                      " query=" +
+                      (query_.has_value()
+                           ? std::to_string(query_->size()) + " disjunct(s)"
+                           : "(none)");
+    AppendLine(&out,
+               "last rewrite: candidates=" +
+                   std::to_string(last_rewrite_.num_candidates) +
+                   " combinations=" +
+                   std::to_string(last_rewrite_.combinations) +
+                   " checks=" + std::to_string(last_rewrite_.checks));
+    const ContainmentOracle* oracle = options_.engine.oracle;
+    if (oracle == nullptr && options_.service != nullptr) {
+      oracle = &options_.service->oracle();
+    }
+    if (oracle != nullptr) {
+      OracleStats os = oracle->stats();
+      char rate[16];
+      std::snprintf(rate, sizeof(rate), "%.2f", os.hit_rate());
+      AppendLine(&out, "oracle: hits=" + std::to_string(os.hits) +
+                           " misses=" + std::to_string(os.misses) +
+                           " inserts=" + std::to_string(os.inserts) +
+                           " hit_rate=" + rate);
+    }
+    if (options_.service != nullptr) {
+      ServiceStats ss = options_.service->lifetime_stats();
+      AppendLine(&out, "service: requests=" + std::to_string(ss.requests) +
+                           " ok=" + std::to_string(ss.ok) +
+                           " failed=" + std::to_string(ss.failed) +
+                           " workers=" + std::to_string(ss.num_workers) +
+                           " shards=" + std::to_string(ss.oracle_shards));
+    }
+    return Say(std::move(out));
+  }
+  return Fail(Status::InvalidArgument("unknown show target '" + rest +
+                                      "' (views|facts|engines|stats)"));
+}
+
+Status Session::Ready(bool needs_views) const {
+  if (!query_.has_value()) {
+    return Status::InvalidArgument("set a query first");
+  }
+  if (needs_views && views_.empty()) {
+    return Status::InvalidArgument("add at least one view first");
+  }
+  return Status::OK();
+}
+
+Result<RewriteResponse> Session::RunRewrite(const std::string& engine_name) {
+  RewriteRequest request;
+  request.query = *query_;
+  request.views = &views_;
+  request.options = options_.engine;
+  if (options_.service != nullptr) {
+    ServiceRequest job;
+    job.engine = engine_name;
+    job.request = std::move(request);
+    AQV_ASSIGN_OR_RETURN(uint64_t ticket,
+                         options_.service->Submit(std::move(job)));
+    AQV_ASSIGN_OR_RETURN(ServiceResponse response,
+                         options_.service->Wait(ticket));
+    if (!response.status.ok()) return response.status;
+    return std::move(response.response);
+  }
+  return RunEngine(engine_name, request);
+}
+
+Result<AnswerResponse> Session::RunAnswer(AnswerRoute route,
+                                          const std::string& engine_name) {
+  AnswerRequest request;
+  request.query = *query_;
+  request.views = &views_;
+  request.base = &base_;
+  request.engine = engine_name;
+  request.route = route;
+  request.options = options_.engine;
+  request.eval = options_.eval;
+  request.planner = options_.planner;
+  if (options_.service != nullptr) {
+    AQV_ASSIGN_OR_RETURN(uint64_t ticket,
+                         options_.service->SubmitAnswer(std::move(request)));
+    AQV_ASSIGN_OR_RETURN(AnswerServiceResponse response,
+                         options_.service->WaitAnswer(ticket));
+    if (!response.status.ok()) return response.status;
+    return std::move(response.response);
+  }
+  return AnswerQuery(request);
+}
+
+CommandResult Session::CmdRewrite(const std::string& rest) {
+  std::vector<std::string> words = SplitWords(rest);
+  std::string engine = options_.default_engine;
+  if (words.size() == 2 && words[0] == "with") {
+    engine = words[1];
+  } else if (!words.empty()) {
+    return Fail(Status::InvalidArgument("usage: rewrite [with <engine>]"));
+  }
+  Status ready = Ready(/*needs_views=*/true);
+  if (!ready.ok()) return Fail(std::move(ready));
+  auto response = RunRewrite(engine);
+  if (!response.ok()) return Fail(response.status());
+  last_rewrite_ = response->stats;
+  std::string out = "engine " + response->engine + ": equivalent=" +
+                    (response->equivalent_exists ? "yes" : "no") +
+                    ", rewritings=" +
+                    std::to_string(response->rewritings.size());
+  for (const Query& rw : response->rewritings.disjuncts) {
+    AppendLine(&out, "  " + rw.ToString());
+  }
+  return Say(std::move(out));
+}
+
+CommandResult Session::CmdAnswer(const std::string& rest) {
+  std::vector<std::string> words = SplitWords(rest);
+  std::string engine = options_.default_engine;
+  AnswerRoute route = options_.default_route;
+  for (size_t i = 0; i < words.size(); i += 2) {
+    if (i + 1 >= words.size()) {
+      return Fail(Status::InvalidArgument(
+          "usage: answer [route <route>] [with <engine>]"));
+    }
+    if (words[i] == "route") {
+      auto parsed = AnswerRouteByName(words[i + 1]);
+      if (!parsed.ok()) return Fail(parsed.status());
+      route = *parsed;
+    } else if (words[i] == "with") {
+      engine = words[i + 1];
+    } else {
+      return Fail(Status::InvalidArgument(
+          "usage: answer [route <route>] [with <engine>]"));
+    }
+  }
+  Status ready = Ready(/*needs_views=*/route != AnswerRoute::kDirect);
+  if (!ready.ok()) return Fail(std::move(ready));
+  auto response = RunAnswer(route, engine);
+  if (!response.ok()) return Fail(response.status());
+  last_rewrite_ = response->stats.rewrite;
+  std::string out = "route " + std::string(AnswerRouteName(response->route));
+  if (!response->engine.empty()) {
+    out += " (engine " + response->engine + ")";
+  }
+  out += ": " + CountNoun(response->result.size(), "answer", "answers") +
+         (response->exact ? " (exact)" : " (certain)");
+  std::string rows = SortedRows(response->result, *catalog_);
+  if (!rows.empty()) AppendLine(&out, rows);
+  return Say(std::move(out));
+}
+
+CommandResult Session::CmdExplain() {
+  Status ready = Ready(/*needs_views=*/true);
+  if (!ready.ok()) return Fail(std::move(ready));
+  if (query_->size() != 1) {
+    return Fail(Status::InvalidArgument(
+        "explain expects a single-CQ query (unions have no cost plan)"));
+  }
+  auto extents = MaterializeViews(views_, base_, options_.eval);
+  if (!extents.ok()) return Fail(extents.status());
+  ExtentStats view_stats = ExtentStats::FromDatabase(*extents);
+  ExtentStats base_stats = ExtentStats::FromDatabase(base_);
+  PlannerOptions popts = options_.planner;
+  popts.engine = options_.engine;
+  auto plans = ChooseBestPlan(query_->disjuncts[0], views_, view_stats,
+                              base_stats, popts);
+  if (!plans.ok()) return Fail(plans.status());
+  last_rewrite_ = plans->stats;
+  if (plans->plans.empty() || plans->best < 0) {
+    return Say("no executable plan");
+  }
+  std::string out =
+      "plans (" + std::to_string(plans->plans.size()) + "):";
+  for (size_t i = 0; i < plans->plans.size(); ++i) {
+    const PlanChoice& p = plans->plans[i];
+    AppendLine(&out, "  [" + std::to_string(i) + "] engine=" + p.engine +
+                         " cost=" + FormatCost(p.estimated_cost) + " " +
+                         (p.complete ? "complete" : "partial") + ": " +
+                         p.rewriting.ToString());
+  }
+  AppendLine(&out, "chosen: [" + std::to_string(plans->best) + "] engine=" +
+                       plans->plans[plans->best].engine);
+  return Say(std::move(out));
+}
+
+CommandResult Session::CmdReset() {
+  // Retire, don't free: an attached oracle may hold entries keyed by the
+  // old catalog's address (see retired_catalogs_).
+  retired_catalogs_.push_back(std::move(catalog_));
+  catalog_ = std::make_unique<Catalog>();
+  views_ = ViewSet();
+  base_ = Database(catalog_.get());
+  query_.reset();
+  last_rewrite_ = RewriteStats{};
+  return Say("session reset");
+}
+
+}  // namespace aqv

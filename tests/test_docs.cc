@@ -1,0 +1,163 @@
+// The docs doctest harness: every fenced code block in README.md and
+// docs/*.md that contains `aqv> ` prompt lines is an executable artifact.
+// Each block is replayed, command by command, through a fresh frontend
+// Session (one Session per block — state persists within a block), and
+// the lines shown after each prompt must match TranscriptLines() of the
+// real CommandResult *verbatim*. Docs can no longer rot: edit a
+// transcript without running it and this suite fails with a diff.
+//
+// Transcript grammar inside a ``` block:
+//   - lines before the first `aqv> ` are ignored (shell invocations etc.)
+//   - `aqv> <command>` runs <command>
+//   - every following line, until the next prompt or the end of the
+//     block, is the command's expected output
+// Blocks without any `aqv> ` line are ignored (shell/C++/JSON examples).
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "frontend/session.h"
+#include "gtest/gtest.h"
+
+#ifndef AQV_SOURCE_DIR
+#error "tests/CMakeLists.txt must define AQV_SOURCE_DIR"
+#endif
+
+namespace aqv {
+namespace {
+
+constexpr char kPrompt[] = "aqv> ";
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+struct TranscriptStep {
+  int line_no = 0;  // 1-based line of the prompt in the markdown file
+  std::string command;
+  std::vector<std::string> expected;
+};
+
+struct Transcript {
+  std::string file;
+  int line_no = 0;  // line of the opening fence
+  std::vector<TranscriptStep> steps;
+};
+
+/// Extracts every transcript block (fenced, containing `aqv> `) of one
+/// markdown file.
+std::vector<Transcript> ExtractTranscripts(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::vector<std::string> lines = SplitLines(content);
+
+  std::vector<Transcript> out;
+  bool in_fence = false;
+  Transcript current;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.rfind("```", 0) == 0) {
+      if (in_fence) {
+        if (!current.steps.empty()) out.push_back(current);
+        current = Transcript();
+      } else {
+        current.file = path;
+        current.line_no = static_cast<int>(i) + 1;
+      }
+      in_fence = !in_fence;
+      continue;
+    }
+    if (!in_fence) continue;
+    if (line.rfind(kPrompt, 0) == 0) {
+      TranscriptStep step;
+      step.line_no = static_cast<int>(i) + 1;
+      step.command = line.substr(sizeof(kPrompt) - 1);
+      current.steps.push_back(step);
+    } else if (!current.steps.empty()) {
+      current.steps.back().expected.push_back(line);
+    }
+    // Lines before the first prompt in a block are ignored.
+  }
+  EXPECT_FALSE(in_fence) << path << ": unterminated code fence";
+  return out;
+}
+
+void ReplayTranscript(const Transcript& t) {
+  SCOPED_TRACE(t.file + ":" + std::to_string(t.line_no));
+  Session session;
+  for (const TranscriptStep& step : t.steps) {
+    CommandResult result = session.Execute(step.command);
+    std::string expected;
+    for (size_t i = 0; i < step.expected.size(); ++i) {
+      if (i > 0) expected += '\n';
+      expected += step.expected[i];
+    }
+    EXPECT_EQ(TranscriptLines(result), expected)
+        << t.file << ":" << step.line_no << ": aqv> " << step.command;
+  }
+}
+
+std::vector<std::string> DocFiles() {
+  std::vector<std::string> files = {std::string(AQV_SOURCE_DIR) +
+                                    "/README.md"};
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::string(AQV_SOURCE_DIR) + "/docs")) {
+    if (entry.path().extension() == ".md") {
+      files.push_back(entry.path().string());
+    }
+  }
+  return files;
+}
+
+TEST(DocsTest, EveryFencedTranscriptReplaysVerbatim) {
+  size_t transcripts = 0;
+  size_t commands = 0;
+  for (const std::string& file : DocFiles()) {
+    for (const Transcript& t : ExtractTranscripts(file)) {
+      ReplayTranscript(t);
+      ++transcripts;
+      commands += t.steps.size();
+    }
+  }
+  // Discovery guard: silently finding nothing must fail, not pass — the
+  // README quickstart and the FRONTEND/QUERY_LANGUAGE walkthroughs alone
+  // account for this many.
+  EXPECT_GE(transcripts, 4u);
+  EXPECT_GE(commands, 25u);
+}
+
+/// The committed demo script must replay clean — it is what CI's
+/// frontend-smoke job feeds aqvsh.
+TEST(DocsTest, DemoScriptRunsWithoutErrors) {
+  std::string path = std::string(AQV_SOURCE_DIR) + "/examples/demo.aqv";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot open " << path;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  Session session;
+  std::vector<CommandResult> results = session.ExecuteScript(content);
+  ASSERT_FALSE(results.empty());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok())
+        << path << ":" << (i + 1) << ": " << results[i].status.ToString();
+  }
+  EXPECT_TRUE(results.back().quit) << "demo.aqv should end with quit";
+}
+
+}  // namespace
+}  // namespace aqv

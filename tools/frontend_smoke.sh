@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# One TCP round-trip against the frontend server (frontend/server.h),
+# with no client dependency beyond bash itself: the script connects over
+# bash's /dev/tcp, replays a short session, and greps the expected
+# protocol responses. CI's frontend-smoke job runs this after the aqvsh
+# script replay; see docs/OPERATIONS.md for the protocol.
+#
+# Usage: tools/frontend_smoke.sh [BUILD_DIR]
+
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+SERVER="$BUILD_DIR/examples/aqv_server"
+if [[ ! -x "$SERVER" ]]; then
+  echo "error: $SERVER not found; configure with -DAQV_BUILD_EXAMPLES=ON" >&2
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Ephemeral port: the server prints "listening on 127.0.0.1:<port>".
+"$SERVER" 0 2 >"$workdir/server.log" &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$workdir/server.log")
+  [[ -n "$port" ]] && break
+  sleep 0.05
+done
+if [[ -z "$port" ]]; then
+  echo "error: server did not report a port" >&2
+  cat "$workdir/server.log" >&2
+  exit 1
+fi
+echo "server up on port $port"
+
+# One session: define a problem, answer it, read stats, quit. The server
+# closes the connection after quit, so a plain cat drains the response.
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+printf '%s\n' \
+  'view v(X, Y) :- edge(X, Y), checked(Y).' \
+  'query q(X, Z) :- edge(X, Y), checked(Y), edge(Y, Z).' \
+  'fact edge(1, 2).' \
+  'fact checked(2).' \
+  'fact edge(2, 3).' \
+  'answer route direct' \
+  'bogus' \
+  'STATS' \
+  'quit' >&3
+timeout 30 cat <&3 >"$workdir/response.txt"
+exec 3<&- 3>&-
+
+echo "--- response ---"
+cat "$workdir/response.txt"
+echo "----------------"
+
+fail=0
+expect() {
+  if ! grep -qF "$1" "$workdir/response.txt"; then
+    echo "MISSING: $1" >&2
+    fail=1
+  fi
+}
+
+expect 'added view v'
+expect 'route direct: 1 answer (exact)'
+expect '(1, 3)'
+expect "err InvalidArgument: unknown command 'bogus' (try 'help')"
+expect 'service: requests=1 ok=1 failed=0'
+
+# 9 commands -> exactly 8 `ok` terminators plus 1 `err`.
+ok_count=$(grep -cx 'ok' "$workdir/response.txt")
+err_count=$(grep -c '^err ' "$workdir/response.txt")
+if [[ "$ok_count" -ne 8 || "$err_count" -ne 1 ]]; then
+  echo "bad terminator counts: ok=$ok_count err=$err_count" >&2
+  fail=1
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "frontend smoke FAILED" >&2
+  exit 1
+fi
+echo "frontend smoke OK"
