@@ -1,0 +1,178 @@
+/// \file
+/// Differential checking harness over the frontend command protocol: the
+/// cross-checking half of the soak/fuzz driver (tools/soak.cc) and of the
+/// differential tests. A MirrorChecker replays every command a server
+/// connection executed onto an in-process *mirror* Session — same command
+/// stream, but inline (no service) and with a fresh single-shard
+/// containment oracle — and demands byte-identical wire responses, which
+/// exercises the service-vs-inline and shard-count-invariance contracts
+/// end to end. On top of the byte compare, every successful `answer`
+/// response is semantically cross-checked against ground truth computed
+/// on the mirror's own state via the direct route: `(exact)` responses
+/// must equal the direct relation, `(certain)` responses must be a subset
+/// of it (answering/answering.h route semantics).
+///
+/// The file also carries the fuzzing utilities around the checker: a
+/// TCP replay loop that drives a live FrontendServer in lock-step with a
+/// mirror, a response tamperer for harness self-tests (a checker that
+/// cannot catch an injected fault is worse than none), and a greedy
+/// ddmin-style script shrinker that reduces a diverging script to a
+/// small standalone repro.
+
+#ifndef AQV_FRONTEND_DIFFERENTIAL_H_
+#define AQV_FRONTEND_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "containment/oracle.h"
+#include "frontend/session.h"
+#include "util/status.h"
+
+namespace aqv {
+
+/// One observed disagreement between a server response and the mirror.
+struct Divergence {
+  /// 0-based index of the command within the replayed stream.
+  int command_index = -1;
+  /// The command text that diverged.
+  std::string command;
+  /// What kind of disagreement: "wire-mismatch" (byte compare),
+  /// "exact-mismatch" (`(exact)` answer != direct route),
+  /// "certain-not-subset" (`(certain)` answer has a row the direct route
+  /// lacks), or "malformed-answer" (an ok `answer` payload that does not
+  /// parse as the transcript grammar).
+  std::string kind;
+  /// What the mirror / ground truth expected.
+  std::string expected;
+  /// What the server actually sent.
+  std::string actual;
+
+  /// "cmd #N `...`: <kind>" — the one-line log rendering.
+  std::string ToString() const;
+};
+
+/// A successful `answer` payload, decomposed per the transcript grammar
+/// `route <name>[ (engine <e>)]: N answer(s) (exact|certain)` + one
+/// sorted `(v1, v2)` row line per tuple.
+struct ParsedAnswerPayload {
+  std::string route;
+  std::string engine;  ///< Empty for engine-independent routes.
+  int count = 0;
+  bool exact = false;
+  std::vector<std::string> rows;
+};
+
+/// Parses the payload lines (terminator excluded) of a successful
+/// `answer` command. kInvalidArgument when the header or a row line does
+/// not match the transcript grammar.
+Result<ParsedAnswerPayload> ParseAnswerPayload(const std::string& payload);
+
+/// The server's wire rendering of one command result: payload + '\n'
+/// (when non-empty), then `ok` or `err <Code>: <message>` — must match
+/// frontend/server.cc's RespondTo byte for byte.
+std::string RenderWireResponse(const CommandResult& result);
+
+/// `text` split at '\n' (a trailing final newline yields no empty line).
+std::vector<std::string> SplitScriptLines(const std::string& text);
+
+/// \brief The mirror half of the differential harness: owns an inline
+/// Session (fresh single-shard oracle, no service, load disabled) and
+/// checks every server response against it. Not thread-safe — one
+/// MirrorChecker per replayed connection, mirroring the one-Session-per-
+/// client server contract.
+class MirrorChecker {
+ public:
+  /// `options` seeds the mirror Session; service/enable_load/oracle are
+  /// overridden (inline, disabled, the checker's own single-shard oracle)
+  /// regardless of what they are set to.
+  explicit MirrorChecker(SessionOptions options = {});
+
+  /// True when `command` participates in checking: excludes blank lines
+  /// and comments (nothing to say), `show stats` and its `STATS` wire
+  /// alias (timings are nondeterministic), and `load` (filesystem).
+  /// Non-checkable commands are still executed on the mirror so state
+  /// stays in lock-step.
+  static bool IsCheckable(std::string_view command);
+
+  /// Executes `command` on the mirror and compares `raw_response` — the
+  /// exact bytes the server sent back, payload lines plus the
+  /// `ok`/`err ...` terminator line, each '\n'-terminated. Returns the
+  /// divergence, or std::nullopt when server and mirror agree.
+  std::optional<Divergence> Check(const std::string& command,
+                                  const std::string& raw_response);
+
+  /// The mirror session (introspection for tests and repro dumps).
+  const Session& session() const { return session_; }
+  int commands() const { return index_; }
+  uint64_t answers_checked() const { return answers_checked_; }
+  uint64_t rewrites_checked() const { return rewrites_checked_; }
+
+ private:
+  /// Declared before session_: the session's retired catalogs must
+  /// outlive the oracle per the containment/oracle.h lifetime contract
+  /// (members destroy in reverse order, so session_ dies first).
+  ContainmentOracle oracle_;
+  Session session_;
+  int index_ = 0;
+  uint64_t answers_checked_ = 0;
+  uint64_t rewrites_checked_ = 0;
+};
+
+/// \brief Tampers one answer response in place for harness self-tests:
+/// flips the first digit after the `route ` header (the answer count or
+/// a row constant), guaranteeing the bytes no longer match any honest
+/// rendering. Returns false (input untouched) when `raw_response` does
+/// not look like an answer response.
+bool FlipOneAnswer(std::string* raw_response);
+
+/// Knobs of ReplayAndCheckOverTcp.
+struct TcpReplayOptions {
+  /// Seeds the mirror (MirrorChecker constructor semantics).
+  SessionOptions mirror;
+  /// When >= 0: tamper the Nth (0-based) `answer` response received, as
+  /// if the server had answered wrongly — the harness self-test.
+  int tamper_at_answer = -1;
+  /// When non-empty: tamper the response of the first command whose text
+  /// equals this. Used by the shrinker to re-inject a recorded fault.
+  std::string tamper_match;
+  /// SO_RCVTIMEO on the client socket, seconds.
+  int recv_timeout_s = 30;
+};
+
+/// Outcome of one replayed connection.
+struct TcpReplayResult {
+  /// The first divergence, if any (the replay stops at it).
+  std::optional<Divergence> divergence;
+  int commands_sent = 0;
+  uint64_t answers_checked = 0;
+  uint64_t rewrites_checked = 0;
+};
+
+/// \brief Replays `lines` over a real TCP connection to a FrontendServer
+/// on 127.0.0.1:`port` in lock-step — send one command, read its full
+/// response (payload + terminator), check it against the mirror — and
+/// stops at the first divergence or after a `quit`. Transport failures
+/// (connect/send/recv/timeouts) are errors, not divergences.
+Result<TcpReplayResult> ReplayAndCheckOverTcp(int port,
+                                              const std::vector<std::string>& lines,
+                                              const TcpReplayOptions& options);
+
+/// \brief Greedy ddmin-style shrinker: repeatedly deletes chunks of
+/// `lines` (halving chunk size down to single lines) while
+/// `still_diverges` holds on the candidate, returning a 1-minimal
+/// diverging script — deleting any single remaining line loses the
+/// divergence. `still_diverges(lines)` must be true on entry; the
+/// predicate is invoked O(n log n) to O(n^2) times, so keep it cheap
+/// (one connection replay).
+std::vector<std::string> ShrinkScript(
+    std::vector<std::string> lines,
+    const std::function<bool(const std::vector<std::string>&)>& still_diverges);
+
+}  // namespace aqv
+
+#endif  // AQV_FRONTEND_DIFFERENTIAL_H_

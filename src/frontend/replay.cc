@@ -1,9 +1,12 @@
 #include "frontend/replay.h"
 
+#include <algorithm>
 #include <cctype>
+#include <numeric>
 
 #include "eval/relation.h"
 #include "eval/value.h"
+#include "util/rng.h"
 
 namespace aqv {
 
@@ -31,14 +34,11 @@ bool IsWritableConstant(const std::string& text) {
   return true;
 }
 
-}  // namespace
-
-Result<std::string> ScriptFromScenario(const Scenario& scenario) {
+/// The `fact` lines of a scenario's base database, per base relation in
+/// PredId order (row order as stored) — shared by both renderers.
+Result<std::string> FactLines(const Scenario& scenario) {
   const Catalog& catalog = *scenario.catalog;
-  std::string out = "% scenario: " + scenario.description + "\n";
-  for (const View& v : scenario.views.views()) {
-    out += "view " + v.definition.ToString() + "\n";
-  }
+  std::string out;
   for (PredId p : scenario.base.Predicates()) {
     const Relation* rel = scenario.base.Find(p);
     if (rel == nullptr || rel->empty()) continue;
@@ -63,7 +63,129 @@ Result<std::string> ScriptFromScenario(const Scenario& scenario) {
       out += ").\n";
     }
   }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> ScriptFromScenario(const Scenario& scenario) {
+  std::string out = "% scenario: " + scenario.description + "\n";
+  for (const View& v : scenario.views.views()) {
+    out += "view " + v.definition.ToString() + "\n";
+  }
+  AQV_ASSIGN_OR_RETURN(std::string facts, FactLines(scenario));
+  out += facts;
   out += "query " + scenario.query.ToString() + "\n";
+  return out;
+}
+
+Result<SoakScript> SoakScriptFromScenario(const Scenario& scenario,
+                                          const SoakScriptOptions& options) {
+  if (options.engines.empty()) {
+    return Status::InvalidArgument("soak script needs at least one engine");
+  }
+  if (options.routes.empty() && !options.include_rewrites) {
+    return Status::InvalidArgument(
+        "soak script needs at least one probe (routes or rewrites)");
+  }
+  if (options.churn_cycles < 0) {
+    return Status::InvalidArgument("churn_cycles must be >= 0");
+  }
+  if (options.holdback_fraction < 0.0 || options.holdback_fraction >= 1.0 ||
+      options.retire_fraction < 0.0 || options.retire_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "holdback/retire fractions must be in [0, 1)");
+  }
+  if (scenario.views.empty()) {
+    return Status::InvalidArgument("soak script needs a non-empty ViewSet");
+  }
+
+  AQV_ASSIGN_OR_RETURN(std::string facts, FactLines(scenario));
+  Rng rng(options.seed);
+  const int n = scenario.views.size();
+
+  // Churn membership: `held` views are withheld from phase 0 and added
+  // across cycles; retirement reshuffles `active` each cycle.
+  std::vector<int> active(n);
+  std::iota(active.begin(), active.end(), 0);
+  std::vector<int> held;
+  if (options.churn_cycles > 0 && options.holdback_fraction > 0.0 && n > 1) {
+    std::vector<int> shuffled = active;
+    rng.Shuffle(&shuffled);
+    int hold = std::min(
+        n - 1, static_cast<int>(options.holdback_fraction * n + 0.5));
+    held.assign(shuffled.end() - hold, shuffled.end());
+    shuffled.resize(static_cast<size_t>(n - hold));
+    active = std::move(shuffled);
+  }
+  std::sort(active.begin(), active.end());
+
+  SoakScript out;
+  size_t probe_cursor = 0;
+  auto probes = [&](std::string* text) {
+    ++out.phases;
+    const std::string& engine =
+        options.engines[probe_cursor % options.engines.size()];
+    ++probe_cursor;
+    if (options.include_rewrites) {
+      *text += "rewrite with " + engine + "\n";
+      ++out.rewrite_probes;
+    }
+    for (const std::string& route : options.routes) {
+      *text += "answer route " + route;
+      if (route == "complete") *text += " with " + engine;
+      *text += "\n";
+      ++out.answer_probes;
+    }
+  };
+  auto rebuild = [&](std::string* text) {
+    for (int i : active) {
+      *text += "view " + scenario.views.view(i).definition.ToString() + "\n";
+    }
+    *text += facts;
+    *text += "query " + scenario.query.ToString() + "\n";
+  };
+
+  std::string text = "% soak script: " + scenario.description + "\n";
+  rebuild(&text);
+  probes(&text);
+
+  for (int cycle = 0; cycle < options.churn_cycles; ++cycle) {
+    if (!held.empty()) {
+      // Add churn: introduce a slice of the held-back views mid-session.
+      int take = std::max<int>(
+          1, static_cast<int>(held.size()) / (options.churn_cycles - cycle));
+      take = std::min<int>(take, static_cast<int>(held.size()));
+      std::vector<int> adds(held.end() - take, held.end());
+      held.resize(held.size() - static_cast<size_t>(take));
+      std::sort(adds.begin(), adds.end());
+      text += "% churn: add " + std::to_string(take) + " view(s)\n";
+      for (int i : adds) {
+        text +=
+            "view " + scenario.views.view(i).definition.ToString() + "\n";
+      }
+      active.insert(active.end(), adds.begin(), adds.end());
+      std::sort(active.begin(), active.end());
+      probes(&text);
+    }
+    int retire = std::min<int>(
+        static_cast<int>(options.retire_fraction * active.size()),
+        static_cast<int>(active.size()) - 1);
+    if (retire > 0) {
+      // Retire churn: the command language has no `drop view`, so
+      // retirement is a `reset` plus a rebuild of the survivors.
+      rng.Shuffle(&active);
+      active.resize(active.size() - static_cast<size_t>(retire));
+      std::sort(active.begin(), active.end());
+      text += "% churn: retire " + std::to_string(retire) +
+              " view(s) (reset + rebuild)\nreset\n";
+      rebuild(&text);
+      probes(&text);
+    }
+  }
+  text += "quit\n";
+  out.text = std::move(text);
+  out.final_views = static_cast<int>(active.size());
   return out;
 }
 

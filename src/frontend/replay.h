@@ -10,7 +10,9 @@
 #ifndef AQV_FRONTEND_REPLAY_H_
 #define AQV_FRONTEND_REPLAY_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 #include "workload/scenarios.h"
@@ -23,6 +25,53 @@ namespace aqv {
 /// cannot be written in the surface syntax (a Skolem, or a symbolic
 /// constant that does not lex as a constant token).
 Result<std::string> ScriptFromScenario(const Scenario& scenario);
+
+/// Knobs of the soak-script renderer (SoakScriptFromScenario). All
+/// randomness (churn membership, probe engine rotation) comes from `seed`
+/// — same scenario + same options, byte-identical script.
+struct SoakScriptOptions {
+  uint64_t seed = 1;
+  /// Engines the probes rotate through (`rewrite with <e>`, and the
+  /// engine of `answer route complete`).
+  std::vector<std::string> engines = {"minicon", "lmss"};
+  /// Answer routes probed after every phase, in this order.
+  std::vector<std::string> routes = {"direct", "complete", "inverse-rules",
+                                     "cost"};
+  /// One `rewrite with <engine>` probe per phase.
+  bool include_rewrites = true;
+  /// View-churn cycles. Each cycle adds held-back views ("add" churn)
+  /// and then retires a fraction of the active set ("retire" churn —
+  /// rendered as `reset` + a rebuild of the survivors, the only retire
+  /// mechanism the command language has). 0 = a single static phase.
+  int churn_cycles = 0;
+  /// Fraction of views withheld from phase 0 and added across cycles.
+  double holdback_fraction = 0.2;
+  /// Fraction of the active views retired per cycle.
+  double retire_fraction = 0.25;
+};
+
+/// A rendered soak script plus the ground-truth expectations tests and the
+/// soak driver assert against.
+struct SoakScript {
+  /// The command text, ending in `quit`.
+  std::string text;
+  /// Probe groups emitted (initial phase + churn add/retire phases).
+  int phases = 0;
+  /// Views live in the session after the final phase.
+  int final_views = 0;
+  /// Total `answer` / `rewrite` probe commands in the script.
+  int answer_probes = 0;
+  int rewrite_probes = 0;
+};
+
+/// \brief Renders `scenario` as a probed, churning session script: each
+/// phase (re)defines part of the problem and then interrogates it with
+/// `rewrite`/`answer` probes across engines and routes — the replayable
+/// unit of the differential soak harness (frontend/differential.h). The
+/// script is deterministic in (scenario, options) and never emits
+/// non-replayable commands (`load`, `show stats`, `STATS`).
+Result<SoakScript> SoakScriptFromScenario(const Scenario& scenario,
+                                          const SoakScriptOptions& options);
 
 }  // namespace aqv
 

@@ -1,0 +1,308 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/datagen.h"
+
+namespace aqv {
+
+namespace {
+
+enum Tiling { kChain = 0, kStar = 1, kSnowflake = 2 };
+
+/// The regenerable skeleton of one tiled view: its shape and the exact
+/// predicate sequence. Redundant views re-render a stored shape under a
+/// fresh name and head, which is how overlapping sources are made.
+struct Shape {
+  Tiling tiling = kChain;
+  std::vector<PredId> preds;
+};
+
+/// Renders `shape` as a view body + head named `name`. Variable naming is
+/// positional, so two renderings of one shape are isomorphic (their heads
+/// may differ — head exposure is resampled per view).
+Result<Query> RenderShape(Catalog* catalog, Rng* rng, const Shape& shape,
+                          const std::string& name, double head_keep_prob) {
+  Query body(catalog);
+  std::vector<VarId> vars;
+  int n = static_cast<int>(shape.preds.size());
+  switch (shape.tiling) {
+    case kChain: {
+      for (int i = 0; i <= n; ++i) {
+        vars.push_back(body.AddVariable("Y" + std::to_string(i)));
+      }
+      for (int i = 0; i < n; ++i) {
+        body.AddBodyAtom(Atom(shape.preds[i],
+                              {Term::Var(vars[i]), Term::Var(vars[i + 1])}));
+      }
+      break;
+    }
+    case kStar: {
+      VarId center = body.AddVariable("Y0");
+      vars.push_back(center);
+      for (int i = 0; i < n; ++i) {
+        VarId leaf = body.AddVariable("Y" + std::to_string(i + 1));
+        vars.push_back(leaf);
+        body.AddBodyAtom(Atom(shape.preds[i],
+                              {Term::Var(center), Term::Var(leaf)}));
+      }
+      break;
+    }
+    case kSnowflake: {
+      // A hub of ceil(n/2) rays; the remaining atoms extend the rays one
+      // hop outward (dimension hierarchies off a fact hub).
+      int rays = (n + 1) / 2;
+      VarId center = body.AddVariable("Y0");
+      vars.push_back(center);
+      std::vector<VarId> ray_vars;
+      for (int i = 0; i < rays; ++i) {
+        VarId leaf = body.AddVariable("Y" + std::to_string(i + 1));
+        vars.push_back(leaf);
+        ray_vars.push_back(leaf);
+        body.AddBodyAtom(Atom(shape.preds[i],
+                              {Term::Var(center), Term::Var(leaf)}));
+      }
+      for (int i = rays; i < n; ++i) {
+        VarId from = ray_vars[(i - rays) % ray_vars.size()];
+        VarId out = body.AddVariable("Z" + std::to_string(i - rays));
+        vars.push_back(out);
+        body.AddBodyAtom(Atom(shape.preds[i],
+                              {Term::Var(from), Term::Var(out)}));
+      }
+      break;
+    }
+  }
+  // Head: each body variable exposed with head_keep_prob, never none.
+  std::vector<VarId> head_vars;
+  for (VarId v : vars) {
+    if (rng->NextBool(head_keep_prob)) head_vars.push_back(v);
+  }
+  if (head_vars.empty()) head_vars.push_back(vars.front());
+  std::vector<Term> args;
+  args.reserve(head_vars.size());
+  for (VarId v : head_vars) args.push_back(Term::Var(v));
+  AQV_ASSIGN_OR_RETURN(
+      PredId pred,
+      catalog->GetOrAddPredicate(name, static_cast<int>(args.size()),
+                                 PredKind::kIntensional));
+  body.set_head(Atom(pred, std::move(args)));
+  AQV_RETURN_NOT_OK(body.Validate());
+  return body;
+}
+
+std::string FormatFraction(double v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+Status GeneratedScenarioSpec::Validate() const {
+  if (num_predicates < 2 || num_predicates > 1000) {
+    return Status::InvalidArgument("num_predicates must be in [2, 1000]");
+  }
+  if (num_tenants < 1 || num_tenants > 16) {
+    return Status::InvalidArgument("num_tenants must be in [1, 16]");
+  }
+  if (query_atoms < 1 || query_atoms > 8) {
+    return Status::InvalidArgument("query_atoms must be in [1, 8]");
+  }
+  if (num_views < 1 || num_views > 5000) {
+    return Status::InvalidArgument("num_views must be in [1, 5000]");
+  }
+  if (chain_weight < 0 || star_weight < 0 || snowflake_weight < 0 ||
+      chain_weight + star_weight + snowflake_weight <= 0) {
+    return Status::InvalidArgument(
+        "tiling weights must be non-negative with a positive sum");
+  }
+  if (min_view_atoms < 1 || min_view_atoms > max_view_atoms ||
+      max_view_atoms > 8) {
+    return Status::InvalidArgument(
+        "view atom band must satisfy 1 <= min <= max <= 8");
+  }
+  if (coverage <= 0.0 || coverage > 1.0) {
+    return Status::InvalidArgument("coverage must be in (0, 1]");
+  }
+  for (double frac : {redundancy, noise_view_fraction, head_keep_prob}) {
+    if (frac < 0.0 || frac > 1.0) {
+      return Status::InvalidArgument(
+          "redundancy/noise/head_keep fractions must be in [0, 1]");
+    }
+  }
+  if (guarantee_equivalent &&
+      num_views < std::min(query_atoms, num_predicates)) {
+    return Status::InvalidArgument(
+        "guarantee_equivalent needs num_views >= the query's distinct "
+        "predicate count (the mirror views)");
+  }
+  if (facts_per_predicate < 0) {
+    return Status::InvalidArgument("facts_per_predicate must be >= 0");
+  }
+  if (domain_size < 1) {
+    return Status::InvalidArgument("domain_size must be >= 1");
+  }
+  if (zipf_skew < 0.0) {
+    return Status::InvalidArgument("zipf_skew must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<Scenario> GenerateScenario(const GeneratedScenarioSpec& spec) {
+  AQV_RETURN_NOT_OK(spec.Validate());
+  Rng rng(spec.seed);
+
+  Scenario s;
+  s.catalog = std::make_unique<Catalog>();
+  Catalog* cat = s.catalog.get();
+
+  // Mediated schema: num_predicates binary relations per tenant.
+  std::vector<std::vector<PredId>> tenant_preds(spec.num_tenants);
+  for (int t = 0; t < spec.num_tenants; ++t) {
+    std::string prefix =
+        spec.num_tenants == 1 ? "p" : "t" + std::to_string(t) + "_p";
+    for (int i = 0; i < spec.num_predicates; ++i) {
+      AQV_ASSIGN_OR_RETURN(
+          PredId p, cat->GetOrAddPredicate(prefix + std::to_string(i), 2));
+      tenant_preds[t].push_back(p);
+    }
+  }
+
+  // The query: a chain over tenant 0's core predicates.
+  std::vector<PredId> core;
+  for (int i = 0; i < spec.query_atoms; ++i) {
+    core.push_back(tenant_preds[0][i % spec.num_predicates]);
+  }
+  {
+    Query q(cat);
+    std::vector<VarId> vars;
+    for (int i = 0; i <= spec.query_atoms; ++i) {
+      vars.push_back(q.AddVariable("X" + std::to_string(i)));
+    }
+    for (int i = 0; i < spec.query_atoms; ++i) {
+      q.AddBodyAtom(
+          Atom(core[i], {Term::Var(vars[i]), Term::Var(vars[i + 1])}));
+    }
+    AQV_ASSIGN_OR_RETURN(
+        PredId head, cat->GetOrAddPredicate("q", 2, PredKind::kIntensional));
+    q.set_head(Atom(head, {Term::Var(vars.front()), Term::Var(vars.back())}));
+    AQV_RETURN_NOT_OK(q.Validate());
+    s.query = std::move(q);
+  }
+  std::set<PredId> core_set(core.begin(), core.end());
+
+  // Views. Mirrors first (when guaranteed): one full-identity view per
+  // distinct query predicate, which plants an equivalent rewriting.
+  int view_index = 0;
+  if (spec.guarantee_equivalent) {
+    std::set<PredId> seen;
+    for (PredId p : core) {
+      if (!seen.insert(p).second) continue;
+      Query body(cat);
+      VarId a = body.AddVariable("Y0");
+      VarId b = body.AddVariable("Y1");
+      body.AddBodyAtom(Atom(p, {Term::Var(a), Term::Var(b)}));
+      AQV_ASSIGN_OR_RETURN(
+          PredId head,
+          cat->GetOrAddPredicate("v" + std::to_string(view_index), 2,
+                                 PredKind::kIntensional));
+      body.set_head(Atom(head, {Term::Var(a), Term::Var(b)}));
+      AQV_RETURN_NOT_OK(body.Validate());
+      AQV_RETURN_NOT_OK(s.views.Add(std::move(body)));
+      ++view_index;
+    }
+  }
+
+  const double weight_sum =
+      spec.chain_weight + spec.star_weight + spec.snowflake_weight;
+  const int pool_size = std::max(
+      1, static_cast<int>(spec.coverage * spec.num_predicates + 0.999));
+  std::vector<Shape> shapes;
+  while (view_index < spec.num_views) {
+    Shape shape;
+    bool redundant = !shapes.empty() && rng.NextBool(spec.redundancy);
+    if (redundant) {
+      shape = shapes[rng.NextBounded(shapes.size())];
+    } else {
+      // Tenant: the query's tenant most of the time; other tenants supply
+      // background catalogs whose predicates never touch the query.
+      int tenant = 0;
+      if (spec.num_tenants > 1 && !rng.NextBool(0.7)) {
+        tenant = 1 + static_cast<int>(rng.NextBounded(spec.num_tenants - 1));
+      }
+      // Predicate pool under the coverage knob; a noise view on tenant 0
+      // draws only from predicates outside the query core.
+      std::vector<PredId> pool(tenant_preds[tenant].begin(),
+                               tenant_preds[tenant].begin() + pool_size);
+      if (tenant == 0 && rng.NextBool(spec.noise_view_fraction)) {
+        std::vector<PredId> off_core;
+        for (PredId p : tenant_preds[0]) {
+          if (core_set.count(p) == 0) off_core.push_back(p);
+        }
+        if (!off_core.empty()) pool = std::move(off_core);
+      }
+      double pick = rng.NextDouble() * weight_sum;
+      shape.tiling = pick < spec.chain_weight ? kChain
+                     : pick < spec.chain_weight + spec.star_weight
+                         ? kStar
+                         : kSnowflake;
+      int atoms = static_cast<int>(
+          rng.NextInRange(spec.min_view_atoms, spec.max_view_atoms));
+      for (int i = 0; i < atoms; ++i) {
+        shape.preds.push_back(pool[rng.NextBounded(pool.size())]);
+      }
+      shapes.push_back(shape);
+    }
+    AQV_ASSIGN_OR_RETURN(
+        Query view,
+        RenderShape(cat, &rng, shape, "v" + std::to_string(view_index),
+                    spec.head_keep_prob));
+    AQV_RETURN_NOT_OK(s.views.Add(std::move(view)));
+    ++view_index;
+  }
+
+  // Hidden base data over every referenced extensional predicate:
+  // Zipf-skewed random tuples plus a few planted query-satisfying chains
+  // so generated probes have non-trivial answers.
+  std::set<PredId> referenced(core.begin(), core.end());
+  for (const View& v : s.views.views()) {
+    for (const Atom& a : v.definition.body()) referenced.insert(a.pred);
+  }
+  std::vector<PredId> fact_preds(referenced.begin(), referenced.end());
+  DataGenSpec data;
+  data.tuples_per_relation = spec.facts_per_predicate;
+  data.domain_size = spec.domain_size;
+  data.zipf_skew = spec.zipf_skew;
+  s.base = MakeRandomDatabase(cat, fact_preds, &rng, data);
+  int plants = std::max(2, spec.facts_per_predicate / 5);
+  for (int g = 0; g < plants; ++g) {
+    std::vector<Value> nodes;
+    for (int i = 0; i <= spec.query_atoms; ++i) {
+      nodes.push_back(static_cast<Value>(rng.NextBounded(spec.domain_size)));
+    }
+    for (int i = 0; i < spec.query_atoms; ++i) {
+      s.base.Add(core[i], {nodes[i], nodes[i + 1]});
+    }
+  }
+  s.base.DedupAll();
+
+  s.description =
+      "generated LAV topology: seed=" + std::to_string(spec.seed) +
+      " preds=" + std::to_string(spec.num_predicates) +
+      " views=" + std::to_string(spec.num_views) +
+      " tenants=" + std::to_string(spec.num_tenants) +
+      " query_atoms=" + std::to_string(spec.query_atoms) +
+      " coverage=" + FormatFraction(spec.coverage) +
+      " redundancy=" + FormatFraction(spec.redundancy) +
+      " noise=" + FormatFraction(spec.noise_view_fraction) +
+      " zipf=" + FormatFraction(spec.zipf_skew) +
+      (spec.guarantee_equivalent ? " mirrors=yes" : " mirrors=no");
+  return s;
+}
+
+}  // namespace aqv

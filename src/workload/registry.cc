@@ -1,6 +1,9 @@
 #include "workload/registry.h"
 
+#include <algorithm>
+
 #include "eval/materialize.h"
+#include "workload/generator.h"
 
 namespace aqv {
 
@@ -15,6 +18,17 @@ Result<Scenario> MakeScenarioByName(std::string_view name, uint64_t seed,
   if (name == "travel") return MakeTravelScenario(seed, db_size);
   if (name == "warehouse") return MakeWarehouseScenario(seed, db_size);
   if (name == "bibliography") return MakeBibliographyScenario(seed, db_size);
+  if (name == "generated") {
+    // A default-spec instance of the scenario-family generator
+    // (workload/generator.h), sized off db_size like the hand-tiled
+    // scenarios. Deliberately NOT in ScenarioNames(): the hand-tiled
+    // grids that iterate the registry stay unchanged.
+    GeneratedScenarioSpec spec;
+    spec.seed = seed;
+    spec.facts_per_predicate = std::max(4, db_size / 10);
+    spec.domain_size = std::max(8, db_size / 2);
+    return GenerateScenario(spec);
+  }
   return Status::NotFound("no scenario named '" + std::string(name) + "'");
 }
 

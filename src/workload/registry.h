@@ -28,6 +28,9 @@ namespace aqv {
 const std::vector<std::string>& ScenarioNames();
 
 /// Builds the scenario registered under `name` (kNotFound otherwise).
+/// Additionally accepts "generated" — a default-spec instance of the
+/// scenario-family generator (workload/generator.h) — which is kept out
+/// of ScenarioNames() so existing registry-iterating grids are unchanged.
 Result<Scenario> MakeScenarioByName(std::string_view name, uint64_t seed,
                                     int db_size);
 

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -214,6 +215,86 @@ TEST(FrontendServerTest, OverlongLineIsRefused) {
     ::send(fd, big.data(), big.size(), 0);
     std::string received;
     char buf[512];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      received.append(buf, static_cast<size_t>(n));
+    }
+    EXPECT_EQ(received, "err InvalidArgument: line exceeds 64 bytes\n");
+    ::close(fd);
+  }
+  server.Stop();
+}
+
+TEST(FrontendServerTest, LineExactlyAtCapIsAccepted) {
+  ServerOptions options;
+  options.max_line_bytes = 64;
+  FrontendServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  // Content length (newline excluded) == cap is the last accepted size,
+  // and the connection stays fully usable afterwards.
+  std::string at_cap = "%" + std::string(63, 'x');
+  ASSERT_EQ(at_cap.size(), 64u);
+  std::string response =
+      Roundtrip(server.port(), {at_cap, "help", "quit"});
+  EXPECT_EQ(response.find("err "), std::string::npos) << response;
+  EXPECT_NE(response.find("ok\ncommands:"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(FrontendServerTest, LineOneByteOverCapIsRefused) {
+  ServerOptions options;
+  options.max_line_bytes = 64;
+  FrontendServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  std::string over_cap = "%" + std::string(64, 'x') + "\n";
+  int fd = ConnectTo(server.port());
+  ::send(fd, over_cap.data(), over_cap.size(), 0);
+  std::string received;
+  char buf[256];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    received.append(buf, static_cast<size_t>(n));
+  }
+  EXPECT_EQ(received, "err InvalidArgument: line exceeds 64 bytes\n");
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(FrontendServerTest, PartialLinesAcrossReadsRespectTheCap) {
+  ServerOptions options;
+  options.max_line_bytes = 64;
+  FrontendServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // An under-cap line split across two sends (the server recv()s the
+  // fragments separately) is reassembled and accepted.
+  {
+    int fd = ConnectTo(server.port());
+    std::string head = "%" + std::string(30, 'a');
+    std::string tail = std::string(30, 'b') + "\nquit\n";
+    ::send(fd, head.data(), head.size(), 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ::send(fd, tail.data(), tail.size(), 0);
+    std::string received;
+    char buf[256];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      received.append(buf, static_cast<size_t>(n));
+    }
+    EXPECT_EQ(received, "ok\nok\n");
+    ::close(fd);
+  }
+
+  // A newline-less carry that crosses the cap on a *later* read is
+  // refused as soon as the accumulated partial line exceeds it.
+  {
+    int fd = ConnectTo(server.port());
+    std::string fragment(40, 'x');
+    ::send(fd, fragment.data(), fragment.size(), 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ::send(fd, fragment.data(), fragment.size(), 0);
+    std::string received;
+    char buf[256];
     ssize_t n;
     while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
       received.append(buf, static_cast<size_t>(n));

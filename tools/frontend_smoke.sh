@@ -19,11 +19,20 @@ fi
 workdir=$(mktemp -d)
 server_pid=""
 cleanup() {
+  status=$?
+  # Any failure (including ones set -e aborts on) dumps the server log,
+  # so CI failures are diagnosable from the job output alone.
+  if [[ "$status" -ne 0 && -s "$workdir/server.log" ]]; then
+    echo "--- server log (exit $status) ---" >&2
+    cat "$workdir/server.log" >&2
+    echo "---------------------------------" >&2
+  fi
   if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
     kill "$server_pid" 2>/dev/null || true
     wait "$server_pid" 2>/dev/null || true
   fi
   rm -rf "$workdir"
+  exit "$status"
 }
 trap cleanup EXIT
 
@@ -58,7 +67,12 @@ printf '%s\n' \
   'bogus' \
   'STATS' \
   'quit' >&3
-timeout 30 cat <&3 >"$workdir/response.txt"
+if ! timeout 30 cat <&3 >"$workdir/response.txt"; then
+  echo "error: timed out draining the server response" >&2
+  echo "--- partial response ---" >&2
+  cat "$workdir/response.txt" >&2
+  exit 1
+fi
 exec 3<&- 3>&-
 
 echo "--- response ---"
@@ -79,9 +93,12 @@ expect '(1, 3)'
 expect "err InvalidArgument: unknown command 'bogus' (try 'help')"
 expect 'service: requests=1 ok=1 failed=0'
 
-# 9 commands -> exactly 8 `ok` terminators plus 1 `err`.
-ok_count=$(grep -cx 'ok' "$workdir/response.txt")
-err_count=$(grep -c '^err ' "$workdir/response.txt")
+# 9 commands -> exactly 8 `ok` terminators plus 1 `err`. grep -c exits 1
+# on zero matches, which set -e would turn into a silent death inside the
+# command substitution — the `|| true` keeps the "0" and lets the explicit
+# count check below do the failing, with a message.
+ok_count=$(grep -cx 'ok' "$workdir/response.txt" || true)
+err_count=$(grep -c '^err ' "$workdir/response.txt" || true)
 if [[ "$ok_count" -ne 8 || "$err_count" -ne 1 ]]; then
   echo "bad terminator counts: ok=$ok_count err=$err_count" >&2
   fail=1

@@ -1,0 +1,340 @@
+/// \file
+/// Differential soak/fuzz driver over the TCP frontend: boots a real
+/// FrontendServer in-process, generates randomized LAV scenario families
+/// (workload/generator.h), renders each as a churning probed session
+/// script (frontend/replay.h), and replays the scripts over real TCP
+/// connections from N concurrent client threads — every response checked
+/// byte-for-byte and semantically against an in-process mirror
+/// (frontend/differential.h). On divergence the script is ddmin-shrunk
+/// against the live server and dumped as a standalone `.aqv` repro that
+/// `aqvsh` can replay. Exit code 0 = clean soak, 1 = divergence (repro
+/// written), 2 = usage/setup error.
+///
+/// The harness self-test: `--inject-fault-at K` tampers the K-th answer
+/// response of the first scenario in flight, as if the server had
+/// answered wrongly; a healthy harness must catch it, shrink it, and
+/// exit 1. tools/soak.sh runs both modes; knobs and recipes are
+/// documented in docs/OPERATIONS.md.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "answering/answering.h"
+#include "frontend/differential.h"
+#include "frontend/replay.h"
+#include "frontend/server.h"
+#include "rewriting/engine.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace aqv;
+
+struct SoakConfig {
+  uint64_t seed = 1;
+  int clients = 4;
+  int scenarios = 50;
+  long min_commands = 10000;
+  int duration_s = 0;  // 0 = unbounded; otherwise a hard wall-clock cap.
+  int views_min = 50;
+  int views_max = 120;
+  int preds_min = 10;
+  int preds_max = 24;
+  int churn_max = 2;
+  int inject_fault_at = -1;  // tamper the Nth answer of the first scenario
+  std::string repro_dir = ".";
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --seed N             master seed (default 1)\n"
+      "  --clients N          concurrent client threads (default 4)\n"
+      "  --scenarios N        minimum scenarios to replay (default 50)\n"
+      "  --min-commands N     keep generating until N commands sent (10000)\n"
+      "  --duration-s N       hard wall-clock cap, 0 = none (default 0)\n"
+      "  --views-min/--views-max N    views per scenario band (50..120)\n"
+      "  --preds-min/--preds-max N    mediated-schema band (10..24)\n"
+      "  --churn-max N        max view-churn cycles per script (default 2)\n"
+      "  --inject-fault-at N  self-test: tamper the Nth answer response of\n"
+      "                       the first scenario; expect exit 1 + a repro\n"
+      "  --repro-dir DIR      where divergence repros are written (.)\n",
+      argv0);
+}
+
+bool ParseFlags(int argc, char** argv, SoakConfig* cfg) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return false;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s needs a value\n", arg.c_str());
+      return false;
+    }
+    const char* v = argv[++i];
+    if (arg == "--seed") cfg->seed = std::strtoull(v, nullptr, 10);
+    else if (arg == "--clients") cfg->clients = std::atoi(v);
+    else if (arg == "--scenarios") cfg->scenarios = std::atoi(v);
+    else if (arg == "--min-commands") cfg->min_commands = std::atol(v);
+    else if (arg == "--duration-s") cfg->duration_s = std::atoi(v);
+    else if (arg == "--views-min") cfg->views_min = std::atoi(v);
+    else if (arg == "--views-max") cfg->views_max = std::atoi(v);
+    else if (arg == "--preds-min") cfg->preds_min = std::atoi(v);
+    else if (arg == "--preds-max") cfg->preds_max = std::atoi(v);
+    else if (arg == "--churn-max") cfg->churn_max = std::atoi(v);
+    else if (arg == "--inject-fault-at") cfg->inject_fault_at = std::atoi(v);
+    else if (arg == "--repro-dir") cfg->repro_dir = v;
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (cfg->clients < 1 || cfg->scenarios < 1 ||
+      cfg->views_min < 1 || cfg->views_max < cfg->views_min ||
+      cfg->preds_min < 2 || cfg->preds_max < cfg->preds_min) {
+    std::fprintf(stderr, "out-of-band flag values\n");
+    return false;
+  }
+  return true;
+}
+
+/// The randomized scenario family: spec + script knobs for scenario
+/// `index`, a pure function of (config.seed, index).
+struct ScenarioPlan {
+  GeneratedScenarioSpec spec;
+  SoakScriptOptions script;
+};
+
+ScenarioPlan PlanScenario(const SoakConfig& cfg, int index) {
+  Rng rng(cfg.seed * 1000003ULL + static_cast<uint64_t>(index));
+  ScenarioPlan plan;
+  GeneratedScenarioSpec& spec = plan.spec;
+  spec.seed = rng.Next();
+  spec.num_predicates =
+      static_cast<int>(rng.NextInRange(cfg.preds_min, cfg.preds_max));
+  spec.num_tenants =
+      rng.NextBool(0.25) ? static_cast<int>(rng.NextInRange(2, 3)) : 1;
+  spec.query_atoms = static_cast<int>(rng.NextInRange(2, 4));
+  spec.num_views =
+      static_cast<int>(rng.NextInRange(cfg.views_min, cfg.views_max));
+  spec.chain_weight = 0.5 + rng.NextDouble();
+  spec.star_weight = 0.5 + rng.NextDouble();
+  spec.snowflake_weight = 0.5 + rng.NextDouble();
+  spec.max_view_atoms = static_cast<int>(rng.NextInRange(2, 4));
+  spec.coverage = 0.6 + 0.4 * rng.NextDouble();
+  spec.redundancy = 0.3 * rng.NextDouble();
+  spec.noise_view_fraction = 0.2 * rng.NextDouble();
+  spec.head_keep_prob = 0.4 + 0.5 * rng.NextDouble();
+  // Mirrors stay on: they guarantee an equivalent rewriting, which keeps
+  // the cost route executable and all four routes comparable.
+  spec.guarantee_equivalent = true;
+  spec.facts_per_predicate = static_cast<int>(rng.NextInRange(8, 20));
+  spec.domain_size = static_cast<int>(rng.NextInRange(16, 48));
+  spec.zipf_skew = 1.2 * rng.NextDouble();
+
+  plan.script.seed = rng.Next();
+  plan.script.engines = EngineNames();
+  plan.script.routes = AnswerRouteNames();
+  plan.script.churn_cycles =
+      cfg.churn_max > 0 ? static_cast<int>(rng.NextInRange(0, cfg.churn_max))
+                        : 0;
+  return plan;
+}
+
+/// The first divergence any client hit, with everything shrinking and the
+/// repro dump need.
+struct FaultRecord {
+  int scenario_index = 0;
+  std::vector<std::string> lines;
+  Divergence divergence;
+  bool injected = false;
+};
+
+std::string FirstLine(const std::string& text) {
+  size_t nl = text.find('\n');
+  return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+void WriteRepro(const SoakConfig& cfg, const FaultRecord& fault,
+                const std::vector<std::string>& shrunk,
+                const std::string& path) {
+  std::ofstream out(path);
+  out << "% aqv soak divergence repro (ddmin-shrunk from "
+      << fault.lines.size() << " to " << shrunk.size() << " commands)\n";
+  out << "% seed: " << cfg.seed << ", scenario: " << fault.scenario_index
+      << ", injected fault: " << (fault.injected ? "yes" : "no") << "\n";
+  out << "% kind: " << fault.divergence.kind << "\n";
+  out << "% command: " << fault.divergence.command << "\n";
+  out << "% expected: " << FirstLine(fault.divergence.expected) << "\n";
+  out << "% actual:   " << FirstLine(fault.divergence.actual) << "\n";
+  out << "% replay with: build/aqvsh " << path << "\n";
+  for (const std::string& line : shrunk) out << line << "\n";
+  if (shrunk.empty() || shrunk.back() != "quit") out << "quit\n";
+}
+
+int Run(const SoakConfig& cfg) {
+  FrontendServer server;  // default options: ephemeral port, 64 conns
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 2;
+  }
+  const int port = server.port();
+  std::printf("[soak] server on 127.0.0.1:%d, %d client(s), seed %llu\n",
+              port, cfg.clients,
+              static_cast<unsigned long long>(cfg.seed));
+
+  std::atomic<int> next_index{0};
+  std::atomic<int> scenarios_done{0};
+  std::atomic<long> total_commands{0};
+  std::atomic<long> total_answers{0};
+  std::atomic<long> total_rewrites{0};
+  std::atomic<bool> stop{false};
+  std::mutex fault_mu;
+  std::optional<FaultRecord> fault;
+  std::vector<std::string> errors;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto expired = [&] {
+    if (cfg.duration_s <= 0) return false;
+    return std::chrono::steady_clock::now() - t0 >=
+           std::chrono::seconds(cfg.duration_s);
+  };
+
+  auto worker = [&] {
+    while (!stop.load()) {
+      if (expired()) break;
+      int index = next_index.fetch_add(1);
+      if (index >= cfg.scenarios &&
+          total_commands.load() >= cfg.min_commands) {
+        break;
+      }
+      ScenarioPlan plan = PlanScenario(cfg, index);
+      auto scenario = GenerateScenario(plan.spec);
+      if (!scenario.ok()) {
+        std::lock_guard<std::mutex> lock(fault_mu);
+        errors.push_back("scenario " + std::to_string(index) +
+                         " generation failed: " +
+                         scenario.status().ToString());
+        stop.store(true);
+        break;
+      }
+      auto script = SoakScriptFromScenario(*scenario, plan.script);
+      if (!script.ok()) {
+        std::lock_guard<std::mutex> lock(fault_mu);
+        errors.push_back("scenario " + std::to_string(index) +
+                         " script render failed: " +
+                         script.status().ToString());
+        stop.store(true);
+        break;
+      }
+      std::vector<std::string> lines = SplitScriptLines(script->text);
+      TcpReplayOptions ropts;
+      if (cfg.inject_fault_at >= 0 && index == 0) {
+        ropts.tamper_at_answer = cfg.inject_fault_at;
+      }
+      auto replay = ReplayAndCheckOverTcp(port, lines, ropts);
+      if (!replay.ok()) {
+        std::lock_guard<std::mutex> lock(fault_mu);
+        errors.push_back("scenario " + std::to_string(index) +
+                         " replay failed: " + replay.status().ToString());
+        stop.store(true);
+        break;
+      }
+      total_commands.fetch_add(replay->commands_sent);
+      total_answers.fetch_add(static_cast<long>(replay->answers_checked));
+      total_rewrites.fetch_add(static_cast<long>(replay->rewrites_checked));
+      int done = scenarios_done.fetch_add(1) + 1;
+      if (replay->divergence.has_value()) {
+        std::lock_guard<std::mutex> lock(fault_mu);
+        if (!fault.has_value()) {
+          FaultRecord record;
+          record.scenario_index = index;
+          record.lines = std::move(lines);
+          record.divergence = *replay->divergence;
+          record.injected = ropts.tamper_at_answer >= 0;
+          fault = std::move(record);
+        }
+        stop.store(true);
+        break;
+      }
+      if (done % 10 == 0 || done == cfg.scenarios) {
+        std::printf("[soak] %d scenario(s), %ld command(s), %ld answer "
+                    "check(s), %ld rewrite check(s)\n",
+                    done, total_commands.load(), total_answers.load(),
+                    total_rewrites.load());
+      }
+    }
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(cfg.clients));
+  for (int i = 0; i < cfg.clients; ++i) clients.emplace_back(worker);
+  for (std::thread& t : clients) t.join();
+
+  int exit_code = 0;
+  if (!errors.empty()) {
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "[soak] error: %s\n", e.c_str());
+    }
+    exit_code = 2;
+  } else if (fault.has_value()) {
+    std::printf("[soak] DIVERGENCE at %s\n",
+                fault->divergence.ToString().c_str());
+    std::printf("[soak] shrinking %zu-command script...\n",
+                fault->lines.size());
+    // Re-inject a recorded tamper during shrink so the self-test fault
+    // stays reproducible on every candidate replay.
+    TcpReplayOptions sopts;
+    if (fault->injected) sopts.tamper_match = fault->divergence.command;
+    auto still_diverges = [&](const std::vector<std::string>& candidate) {
+      auto r = ReplayAndCheckOverTcp(port, candidate, sopts);
+      return r.ok() && r->divergence.has_value();
+    };
+    std::vector<std::string> shrunk = fault->lines;
+    if (still_diverges(shrunk)) {
+      shrunk = ShrinkScript(std::move(shrunk), still_diverges);
+    } else {
+      std::printf("[soak] divergence did not reproduce on re-replay; "
+                  "dumping the unshrunk script\n");
+    }
+    std::string path = cfg.repro_dir + "/repro-seed" +
+                       std::to_string(cfg.seed) + "-s" +
+                       std::to_string(fault->scenario_index) + ".aqv";
+    WriteRepro(cfg, *fault, shrunk, path);
+    std::printf("[soak] repro (%zu command(s)) written to %s\n",
+                shrunk.size(), path.c_str());
+    exit_code = 1;
+  }
+
+  server.Stop();
+  std::printf("[soak] done: %d scenario(s), %ld command(s), %ld answer "
+              "check(s), %ld rewrite check(s), %s\n",
+              scenarios_done.load(), total_commands.load(),
+              total_answers.load(), total_rewrites.load(),
+              exit_code == 0 ? "no divergence"
+                             : (exit_code == 1 ? "DIVERGENCE" : "ERROR"));
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SoakConfig cfg;
+  if (!ParseFlags(argc, argv, &cfg)) {
+    Usage(argv[0]);
+    return 2;
+  }
+  return Run(cfg);
+}

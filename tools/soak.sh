@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Bounded differential soak over the TCP frontend, in two acts:
+#
+#   1. a clean soak — randomized generated scenarios replayed by
+#      concurrent clients, every response differentially checked; any
+#      divergence fails the script (and leaves a shrunk .aqv repro), and
+#   2. the harness self-test — the same driver with --inject-fault-at,
+#      which MUST exit 1 and write a repro: a soak harness that cannot
+#      catch a deliberately flipped answer proves nothing.
+#
+# CI's soak-smoke job runs this under ASan with SOAK_DURATION_S=60.
+# Knobs (env): SOAK_SEED, SOAK_CLIENTS, SOAK_SCENARIOS,
+# SOAK_MIN_COMMANDS, SOAK_DURATION_S. See docs/OPERATIONS.md.
+#
+# Usage: tools/soak.sh [BUILD_DIR]
+
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+SOAK="$BUILD_DIR/tools/aqv_soak"
+if [[ ! -x "$SOAK" ]]; then
+  echo "error: $SOAK not found; configure with -DAQV_BUILD_TOOLS=ON" >&2
+  exit 1
+fi
+
+SOAK_SEED=${SOAK_SEED:-20260807}
+SOAK_CLIENTS=${SOAK_CLIENTS:-4}
+SOAK_SCENARIOS=${SOAK_SCENARIOS:-12}
+SOAK_MIN_COMMANDS=${SOAK_MIN_COMMANDS:-3000}
+SOAK_DURATION_S=${SOAK_DURATION_S:-0}
+
+workdir=$(mktemp -d)
+cleanup() {
+  status=$?
+  rm -rf "$workdir"
+  exit "$status"
+}
+trap cleanup EXIT
+
+echo "=== clean soak (seed=$SOAK_SEED clients=$SOAK_CLIENTS" \
+  "scenarios=$SOAK_SCENARIOS min-commands=$SOAK_MIN_COMMANDS" \
+  "duration-s=$SOAK_DURATION_S) ==="
+"$SOAK" \
+  --seed "$SOAK_SEED" \
+  --clients "$SOAK_CLIENTS" \
+  --scenarios "$SOAK_SCENARIOS" \
+  --min-commands "$SOAK_MIN_COMMANDS" \
+  --duration-s "$SOAK_DURATION_S" \
+  --views-min 15 --views-max 40 \
+  --preds-min 8 --preds-max 16 \
+  --repro-dir "$workdir"
+
+echo "=== fault-injection self-test (expect divergence + repro) ==="
+rc=0
+"$SOAK" \
+  --seed "$SOAK_SEED" \
+  --clients 1 \
+  --scenarios 1 \
+  --min-commands 1 \
+  --views-min 8 --views-max 12 \
+  --preds-min 6 --preds-max 8 \
+  --inject-fault-at 1 \
+  --repro-dir "$workdir" || rc=$?
+if [[ "$rc" -ne 1 ]]; then
+  echo "self-test FAILED: injected fault exited $rc, want 1" >&2
+  exit 1
+fi
+repro=$(find "$workdir" -name 'repro-*.aqv' | head -n 1)
+if [[ -z "$repro" ]]; then
+  echo "self-test FAILED: no repro file written" >&2
+  exit 1
+fi
+echo "--- shrunk repro ---"
+cat "$repro"
+echo "--------------------"
+echo "soak OK"
