@@ -163,6 +163,30 @@ void RegisterAll() {
         ->Apply(F9Args)
         ->UseRealTime();
   }
+  // The 10^6-row block: the warehouse star schema at full scale, on the
+  // routes that stay tractable there (inverse-rules re-derives the whole
+  // extent through the Skolem program and is measured at the small sizes
+  // above instead).
+  struct MillionRoute {
+    const char* name;
+    AnswerRoute route;
+    const char* engine;
+  };
+  for (MillionRoute r : {MillionRoute{"direct", AnswerRoute::kDirect, ""},
+                         MillionRoute{"complete-lmss",
+                                      AnswerRoute::kCompleteRewriting, "lmss"},
+                         MillionRoute{"cost", AnswerRoute::kCostBased, ""}}) {
+    std::string name = std::string("BM_F9_MillionRow/warehouse/") + r.name;
+    AnswerRoute route = r.route;
+    std::string engine = r.engine;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [route, engine](benchmark::State& state) {
+          RunRoute(state, "warehouse", route, engine);
+        })
+        ->Arg(1'000'000)
+        ->Unit(benchmark::kMillisecond);
+  }
 }
 
 }  // namespace

@@ -47,7 +47,7 @@ Relation DropSkolemRows(const Relation& raw) {
         break;
       }
     }
-    if (!has_skolem) out.AddRow(raw.row(i));
+    if (!has_skolem) out.AppendRowFrom(raw, i);
   }
   out.SortDedup();
   return out;
@@ -181,9 +181,7 @@ Result<Relation> BruteForceCertainAnswers(const Query& q, const ViewSet& views,
       const Relation* extent = view_extents.Find(v.pred);
       if (extent == nullptr) continue;
       for (size_t i = 0; i < extent->size() && consistent; ++i) {
-        std::vector<Value> row(extent->row(i),
-                               extent->row(i) + extent->arity());
-        if (!result.Contains(row)) consistent = false;
+        if (!result.Contains(extent->RowCopy(i))) consistent = false;
       }
       if (extent->arity() == 0 && extent->size() == 1 && result.empty()) {
         consistent = false;

@@ -37,4 +37,9 @@ void Database::DedupAll() {
   for (auto& [pred, rel] : rels_) rel.SortDedup();
 }
 
+std::shared_ptr<const RelationStats> Database::Stats(PredId pred) const {
+  const Relation* rel = Find(pred);
+  return rel == nullptr ? nullptr : rel->Measured();
+}
+
 }  // namespace aqv

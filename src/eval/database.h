@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "cq/catalog.h"
@@ -37,6 +38,13 @@ class Database {
 
   /// SortDedup() on every relation.
   void DedupAll();
+
+  /// Measured statistics of `pred`'s relation (cardinality, per-column
+  /// distinct counts, numeric min/max), computed on first demand after
+  /// the last mutation and cached on the relation; nullptr when the
+  /// relation was never touched. Feeds ExtentStats::FromDatabase and
+  /// through it the planner's cost model.
+  std::shared_ptr<const RelationStats> Stats(PredId pred) const;
 
  private:
   const Catalog* catalog_;

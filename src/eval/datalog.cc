@@ -55,9 +55,13 @@ Result<Database> ApplyInverseRules(const InverseRuleSet& rules,
       continue;
     }
     int arity = rule.view_atom.arity();
+    std::vector<const Value*> cols(static_cast<size_t>(arity));
+    for (int c = 0; c < arity; ++c) cols[c] = extent->ColumnData(c);
     std::vector<Value> binding;  // per view-definition variable
+    std::vector<Value> tuple_buf(static_cast<size_t>(arity));
     for (size_t r = 0; r < extent->size(); ++r) {
-      const Value* tuple = arity == 0 ? nullptr : extent->row(r);
+      for (int c = 0; c < arity; ++c) tuple_buf[c] = cols[c][r];
+      const Value* tuple = arity == 0 ? nullptr : tuple_buf.data();
       // Match the view head pattern against the tuple.
       binding.assign(rule.var_names.size(), 0);
       std::vector<bool> is_bound(rule.var_names.size(), false);

@@ -3,24 +3,15 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "eval/index.h"
 #include "eval/value.h"
 
 namespace aqv {
 
 namespace {
 
-struct VecHash {
-  size_t operator()(const std::vector<Value>& key) const {
-    size_t h = 0xcbf29ce484222325ULL;
-    for (Value v : key) {
-      h = (h ^ static_cast<size_t>(v)) * 0x100000001b3ULL;
-    }
-    return h;
-  }
-};
-
-using Index = std::unordered_map<std::vector<Value>, std::vector<size_t>,
-                                 VecHash>;
+using ThrowawayIndex =
+    std::unordered_map<std::vector<Value>, std::vector<size_t>, RowKeyHash>;
 
 bool CmpHolds(CmpOp op, Value a, Value b) {
   switch (op) {
@@ -124,7 +115,7 @@ Result<Relation> EvaluateQuery(const Query& q, const Database& db,
     const Relation* rel = db.Find(a.pred);
 
     // Position classification under the current bound set.
-    std::vector<int> key_positions;        // arg positions probing the index
+    std::vector<int> key_positions;        // bound-variable arg positions
     std::vector<VarId> key_vars;           // their variables
     std::vector<std::pair<int, Value>> const_positions;
     std::vector<std::pair<int, VarId>> new_positions;  // first occurrence
@@ -145,55 +136,152 @@ Result<Relation> EvaluateQuery(const Query& q, const Database& db,
       }
     }
 
-    // Build index over the relation keyed by key_positions, filtering
-    // constants and within-atom duplicates.
-    Index index;
-    if (rel != nullptr) {
-      std::vector<Value> key(key_positions.size());
-      for (size_t r = 0; r < rel->size(); ++r) {
-        const Value* row = rel->row(r);
-        bool ok = true;
-        for (auto [pos, value] : const_positions) {
-          if (row[pos] != value) {
-            ok = false;
-            break;
+    // Column pointers of the relation, fetched once per atom.
+    size_t rel_rows = rel == nullptr ? 0 : rel->size();
+    std::vector<const Value*> cols;
+    if (rel != nullptr && rel->arity() > 0) {
+      cols.resize(static_cast<size_t>(rel->arity()));
+      for (int c = 0; c < rel->arity(); ++c) cols[c] = rel->ColumnData(c);
+    }
+
+    auto passes_const_dup = [&](size_t r) {
+      for (auto [pos, value] : const_positions) {
+        if (cols[pos][r] != value) return false;
+      }
+      for (auto [pos, earlier] : dup_positions) {
+        if (cols[pos][r] != cols[earlier][r]) return false;
+      }
+      return true;
+    };
+
+    std::vector<Value> next;
+    size_t next_count = 0;
+    // Emits the join of binding row `brow` with relation row `r`; false
+    // on intermediate_row_cap overrun.
+    auto emit = [&](const Value* brow, size_t r) {
+      next.insert(next.end(), brow, brow + nv);
+      Value* out = next.data() + next_count * nv;
+      for (auto [pos, var] : new_positions) out[var] = cols[pos][r];
+      ++next_count;
+      return next_count + stats->intermediate_rows <=
+             options.intermediate_row_cap;
+    };
+    auto cap_error = [] {
+      return Status::ResourceExhausted(
+          "join pipeline exceeded intermediate_row_cap");
+    };
+
+    bool use_cache = options.use_cached_indexes && rel != nullptr &&
+                     (!key_positions.empty() || !const_positions.empty());
+    if (use_cache) {
+      // Cached-index path: the persistent per-relation index is keyed by
+      // the bound-variable positions *plus* the constant positions (so
+      // point lookups like p(X, 7) probe instead of scanning); only the
+      // within-atom duplicate filter remains per matched row. Emission
+      // order is identical to the cold path: postings hold ascending row
+      // ids, and the filters select the same rows either way.
+      std::vector<int> index_cols;
+      index_cols.reserve(key_positions.size() + const_positions.size());
+      // probe_from_var[k] >= 0: key slot k reads that binding variable;
+      // otherwise the slot holds a fixed constant preloaded below.
+      std::vector<VarId> probe_from_var;
+      std::vector<Value> probe;
+      {
+        size_t ki = 0;
+        size_t ci = 0;
+        while (ki < key_positions.size() || ci < const_positions.size()) {
+          bool take_key =
+              ci == const_positions.size() ||
+              (ki < key_positions.size() &&
+               key_positions[ki] < const_positions[ci].first);
+          if (take_key) {
+            index_cols.push_back(key_positions[ki]);
+            probe_from_var.push_back(key_vars[ki]);
+            probe.push_back(0);
+            ++ki;
+          } else {
+            index_cols.push_back(const_positions[ci].first);
+            probe_from_var.push_back(-1);
+            probe.push_back(const_positions[ci].second);
+            ++ci;
           }
         }
-        for (auto [pos, earlier] : dup_positions) {
-          if (!ok) break;
-          if (row[pos] != row[earlier]) ok = false;
+      }
+      bool built = false;
+      std::shared_ptr<const HashIndex> index = rel->IndexOn(index_cols,
+                                                            &built);
+      if (built) {
+        ++stats->index_builds;
+      } else {
+        ++stats->index_hits;
+      }
+      for (size_t b = 0; b < num_bindings; ++b) {
+        const Value* brow = bindings.data() + b * nv;
+        for (size_t k = 0; k < probe.size(); ++k) {
+          if (probe_from_var[k] >= 0) probe[k] = brow[probe_from_var[k]];
         }
-        if (!ok) continue;
-        for (size_t k = 0; k < key_positions.size(); ++k) {
-          key[k] = row[key_positions[k]];
+        ++stats->probes;
+        const std::vector<uint32_t>* postings = index->Find(probe);
+        if (postings == nullptr) continue;
+        for (uint32_t r : *postings) {
+          bool dup_ok = true;
+          for (auto [pos, earlier] : dup_positions) {
+            if (cols[pos][r] != cols[earlier][r]) {
+              dup_ok = false;
+              break;
+            }
+          }
+          if (!dup_ok) continue;
+          if (!emit(brow, r)) return cap_error();
         }
-        index[key].push_back(r);
+      }
+    } else if (options.use_cached_indexes || key_positions.empty()) {
+      // Scan path: nothing to probe with (no bound variables or
+      // constants), or the relation is absent. Prefilter once, then
+      // cross with every binding.
+      std::vector<uint32_t> candidates;
+      for (size_t r = 0; r < rel_rows; ++r) {
+        if (passes_const_dup(r)) candidates.push_back(static_cast<uint32_t>(r));
+      }
+      for (size_t b = 0; b < num_bindings; ++b) {
+        const Value* brow = bindings.data() + b * nv;
+        ++stats->probes;
+        for (uint32_t r : candidates) {
+          if (!emit(brow, r)) return cap_error();
+        }
+      }
+    } else {
+      // Cold path (use_cached_indexes off): the pre-cache behavior, kept
+      // as the measured row-at-a-time baseline — a throwaway index built
+      // from scratch inside every evaluation, constants and duplicates
+      // filtered during construction.
+      ThrowawayIndex index;
+      if (rel != nullptr) {
+        ++stats->index_builds;
+        std::vector<Value> key(key_positions.size());
+        for (size_t r = 0; r < rel_rows; ++r) {
+          if (!passes_const_dup(r)) continue;
+          for (size_t k = 0; k < key_positions.size(); ++k) {
+            key[k] = cols[key_positions[k]][r];
+          }
+          index[key].push_back(r);
+        }
+      }
+      std::vector<Value> probe(key_positions.size());
+      for (size_t b = 0; b < num_bindings; ++b) {
+        const Value* brow = bindings.data() + b * nv;
+        for (size_t k = 0; k < key_vars.size(); ++k) {
+          probe[k] = brow[key_vars[k]];
+        }
+        ++stats->probes;
+        auto it = index.find(probe);
+        if (it == index.end()) continue;
+        for (size_t r : it->second) {
+          if (!emit(brow, r)) return cap_error();
+        }
       }
     }
 
-    // Probe: join current bindings against the index.
-    std::vector<Value> next;
-    size_t next_count = 0;
-    std::vector<Value> probe(key_positions.size());
-    for (size_t b = 0; b < num_bindings; ++b) {
-      const Value* row = bindings.data() + b * nv;
-      for (size_t k = 0; k < key_vars.size(); ++k) probe[k] = row[key_vars[k]];
-      ++stats->probes;
-      auto it = index.find(probe);
-      if (it == index.end()) continue;
-      for (size_t r : it->second) {
-        const Value* tuple = rel->row(r);
-        next.insert(next.end(), row, row + nv);
-        Value* out = next.data() + next_count * nv;
-        for (auto [pos, var] : new_positions) out[var] = tuple[pos];
-        ++next_count;
-        if (next_count + stats->intermediate_rows >
-            options.intermediate_row_cap) {
-          return Status::ResourceExhausted(
-              "join pipeline exceeded intermediate_row_cap");
-        }
-      }
-    }
     stats->intermediate_rows += next_count;
     bindings = std::move(next);
     num_bindings = next_count;
@@ -229,12 +317,15 @@ Result<Relation> EvaluateUnion(const UnionQuery& u, const Database& db,
                                const EvalOptions& options, EvalStats* stats) {
   if (u.empty()) return Status::InvalidArgument("empty union");
   Relation out(u.disjuncts[0].head().pred, u.disjuncts[0].head().arity());
+  // Disjuncts share the database's cached relation indexes: the first
+  // disjunct to touch a (relation, key-columns) pair builds, the rest hit
+  // (EvalStats::index_hits counts the reuse).
   for (const Query& d : u.disjuncts) {
     AQV_ASSIGN_OR_RETURN(Relation r, EvaluateQuery(d, db, options, stats));
     if (r.arity() != out.arity()) {
       return Status::InvalidArgument("union disjunct arity mismatch");
     }
-    for (size_t i = 0; i < r.size(); ++i) out.AddRow(r.row(i));
+    for (size_t i = 0; i < r.size(); ++i) out.AppendRowFrom(r, i);
   }
   out.SortDedup();
   return out;

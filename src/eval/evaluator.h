@@ -2,12 +2,18 @@
 /// Umbrella header of the `eval` module: executing CQs over concrete data.
 /// Evaluate runs a hash-join pipeline (greedy atom order: most-bound
 /// variables first, then smallest relation) against a Database of
-/// Relations; materialize.h computes view extents, certain.h implements the
-/// two LAV answering routes (union rewriting evaluation and inverse rules +
-/// datalog.h fixpoint with Skolem filtering). Invariants: evaluation never
-/// mutates the database, respects EvalOptions::intermediate_row_cap
-/// (kResourceExhausted past it), and emits deduplicated head tuples in a
-/// deterministic order for a fixed input.
+/// columnar Relations; materialize.h computes view extents, certain.h
+/// implements the two LAV answering routes (union rewriting evaluation and
+/// inverse rules + datalog.h fixpoint with Skolem filtering). Join probes
+/// go through persistent per-relation hash indexes (relation.h IndexOn) —
+/// built once per (relation, key-column-set), cached on the relation, and
+/// reused across the pipeline, view materialization, fixpoint rounds, and
+/// repeated answer calls; EvalOptions::use_cached_indexes = false restores
+/// the per-query throwaway build as a measured baseline. Invariants:
+/// evaluation never mutates the database, respects
+/// EvalOptions::intermediate_row_cap (kResourceExhausted past it), and
+/// emits deduplicated head tuples in a deterministic order for a fixed
+/// input — bit-identical with index caching on or off.
 
 #ifndef AQV_EVAL_EVALUATOR_H_
 #define AQV_EVAL_EVALUATOR_H_
@@ -26,22 +32,40 @@ struct EvalOptions {
   /// Cap on the number of intermediate binding rows produced across the join
   /// pipeline (kResourceExhausted past it).
   uint64_t intermediate_row_cap = 50'000'000;
+  /// Probe the persistent per-relation hash indexes (built once, cached on
+  /// the relation, invalidated by mutation). Off: rebuild a throwaway
+  /// index inside every evaluation — the pre-index-cache row-at-a-time
+  /// baseline, kept for benchmarking (bench_f5_eval_speedup) and the
+  /// cached-vs-cold equivalence property test. Results are bit-identical
+  /// either way.
+  bool use_cached_indexes = true;
 };
 
 /// Collected per-evaluation statistics (for F5 and diagnosis).
 struct EvalStats {
   uint64_t intermediate_rows = 0;
+  /// Index lookups: one per binding row per joined atom (identical with
+  /// caching on or off).
   uint64_t probes = 0;
+  /// Hash-index builds: cached-index cache misses, plus every throwaway
+  /// per-query build when use_cached_indexes is off.
+  uint64_t index_builds = 0;
+  /// Reuses of a relation's cached hash index (always 0 with
+  /// use_cached_indexes off) — the counter that proves sharing across
+  /// union disjuncts, fixpoint rounds, and repeated calls.
+  uint64_t index_hits = 0;
 };
 
 /// \brief Evaluates a conjunctive query over a database.
 ///
 /// Join pipeline: body atoms are ordered greedily (most already-bound
 /// variables first, then smallest relation); each step hash-joins the
-/// current binding set against the atom's relation. Constants and repeated
-/// variables filter during index construction. Comparisons apply as soon as
-/// both sides are bound; `<`/`<=` hold only between plain numeric values,
-/// `=`/`!=` compare raw values (so Skolems join by identity).
+/// current binding set against the atom's relation through the relation's
+/// cached hash index keyed by the bound-variable *and* constant argument
+/// positions (within-atom repeated variables filter per matched row).
+/// Comparisons apply as soon as both sides are bound; `<`/`<=` hold only
+/// between plain numeric values, `=`/`!=` compare raw values (so Skolems
+/// join by identity).
 ///
 /// The result relation has the head's predicate and arity, deduplicated
 /// (set semantics).
@@ -49,7 +73,9 @@ Result<Relation> EvaluateQuery(const Query& q, const Database& db,
                                const EvalOptions& options = {},
                                EvalStats* stats = nullptr);
 
-/// Evaluates a union of CQs and dedups the combined result.
+/// Evaluates a union of CQs and dedups the combined result. Disjuncts
+/// share the relations' cached indexes (EvalStats::index_hits counts the
+/// reuse).
 Result<Relation> EvaluateUnion(const UnionQuery& u, const Database& db,
                                const EvalOptions& options = {},
                                EvalStats* stats = nullptr);

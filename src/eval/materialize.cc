@@ -22,7 +22,7 @@ Result<Database> MaterializeViews(const ViewSet& views, const Database& base,
       if (!extent.empty()) dst->Add({});
       continue;
     }
-    for (size_t i = 0; i < extent.size(); ++i) dst->AddRow(extent.row(i));
+    for (size_t i = 0; i < extent.size(); ++i) dst->AppendRowFrom(extent, i);
     dst->SortDedup();
   }
   return out;

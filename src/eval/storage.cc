@@ -1,0 +1,59 @@
+#include "eval/storage.h"
+
+#include <cassert>
+
+namespace aqv {
+
+namespace {
+
+class ColumnarStore final : public ColumnStore {
+ public:
+  explicit ColumnarStore(int arity) : cols_(static_cast<size_t>(arity)) {
+    assert(arity >= 1);
+  }
+
+  int arity() const override { return static_cast<int>(cols_.size()); }
+  size_t rows() const override { return cols_[0].size(); }
+
+  const Value* Column(int c) const override {
+    return cols_[static_cast<size_t>(c)].data();
+  }
+
+  void Reserve(size_t n) override {
+    for (auto& col : cols_) col.reserve(n);
+  }
+
+  void Append(const Value* row) override {
+    for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(row[c]);
+  }
+
+  void Rewrite(const std::vector<uint32_t>& keep) override {
+    for (auto& col : cols_) {
+      std::vector<Value> out;
+      out.reserve(keep.size());
+      for (uint32_t r : keep) out.push_back(col[r]);
+      col = std::move(out);
+    }
+  }
+
+  void Clear() override {
+    for (auto& col : cols_) col.clear();
+  }
+
+  std::unique_ptr<ColumnStore> Clone() const override {
+    return std::make_unique<ColumnarStore>(*this);
+  }
+
+  const char* Backend() const override { return "columnar"; }
+
+ private:
+  std::vector<std::vector<Value>> cols_;
+};
+
+}  // namespace
+
+std::unique_ptr<ColumnStore> MakeColumnarStore(int arity) {
+  return std::make_unique<ColumnarStore>(arity);
+}
+
+}  // namespace aqv

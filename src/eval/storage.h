@@ -1,0 +1,67 @@
+/// \file
+/// The relation storage interface: Relation delegates physical tuple
+/// layout to a ColumnStore so backends are interchangeable (the refactor
+/// ROADMAP flags as the unlock for a later mmap/persistent backend). The
+/// one shipped implementation is columnar — one contiguous
+/// `std::vector<Value>` per column — which keeps join-key extraction and
+/// per-column statistics scans cache-friendly at million-row extents.
+/// Row-major callers go through Relation's adapter API (`at`, `RowCopy`,
+/// `Rows`); the hot paths (evaluator, index build, stats) read whole
+/// columns via `Column()`.
+
+#ifndef AQV_EVAL_STORAGE_H_
+#define AQV_EVAL_STORAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "eval/value.h"
+
+namespace aqv {
+
+/// \brief Abstract physical storage of an arity-N relation (N >= 1;
+/// nullary relations are a presence bit held by Relation itself).
+///
+/// Contract: rows are addressed 0..rows()-1 in insertion order; Column(c)
+/// returns the column's contiguous data, valid until the next mutating
+/// call. Implementations need not be thread-safe for writes; concurrent
+/// reads of an unmutated store must be safe.
+class ColumnStore {
+ public:
+  virtual ~ColumnStore() = default;
+
+  virtual int arity() const = 0;
+  virtual size_t rows() const = 0;
+
+  /// Contiguous data of column `c` (rows() values). Precondition:
+  /// 0 <= c < arity().
+  virtual const Value* Column(int c) const = 0;
+
+  /// Hints the expected final row count.
+  virtual void Reserve(size_t n) = 0;
+
+  /// Appends one row of arity() values.
+  virtual void Append(const Value* row) = 0;
+
+  /// Replaces the contents with the rows listed in `keep`, in that order
+  /// (the sort/dedup rewrite primitive). Row ids in `keep` refer to the
+  /// pre-call contents.
+  virtual void Rewrite(const std::vector<uint32_t>& keep) = 0;
+
+  virtual void Clear() = 0;
+
+  /// Deep copy with the same backend.
+  virtual std::unique_ptr<ColumnStore> Clone() const = 0;
+
+  /// Stable backend name for diagnostics ("columnar", later "mmap", ...).
+  virtual const char* Backend() const = 0;
+};
+
+/// The in-memory columnar backend: one std::vector<Value> per column.
+std::unique_ptr<ColumnStore> MakeColumnarStore(int arity);
+
+}  // namespace aqv
+
+#endif  // AQV_EVAL_STORAGE_H_

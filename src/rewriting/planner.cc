@@ -14,6 +14,21 @@ namespace aqv {
 ExtentStats ExtentStats::FromDatabase(const Database& db) {
   ExtentStats stats;
   for (PredId p : db.Predicates()) {
+    std::shared_ptr<const RelationStats> measured = db.Stats(p);
+    stats.cardinality[p] = measured->cardinality;
+    std::vector<uint64_t> distinct;
+    distinct.reserve(measured->columns.size());
+    for (const RelationStats::Column& col : measured->columns) {
+      distinct.push_back(col.distinct);
+    }
+    stats.column_distinct[p] = std::move(distinct);
+  }
+  return stats;
+}
+
+ExtentStats ExtentStats::CardinalitiesOnly(const Database& db) {
+  ExtentStats stats;
+  for (PredId p : db.Predicates()) {
     stats.cardinality[p] = db.Find(p)->size();
   }
   return stats;
@@ -23,24 +38,31 @@ namespace {
 
 /// Bound argument positions of `a` given the currently-bound variable
 /// set. With `count_repeats`, repeated occurrences of an unbound variable
-/// within the atom also count — the evaluator filters them during index
-/// construction, so they shrink the fan-out, but its PlanAtomOrder does
-/// *not* score them when choosing the next atom; the cost model keeps the
-/// two uses separate so it simulates the order the evaluator actually
-/// picks.
+/// within the atom also count — the evaluator filters them per matched
+/// row, so they shrink the fan-out, but its PlanAtomOrder does *not*
+/// score them when choosing the next atom; the cost model keeps the two
+/// uses separate so it simulates the order the evaluator actually picks.
+/// When `positions` is non-null, the counted argument positions are
+/// appended to it (for per-column selectivity lookup).
 int BoundPositions(const Atom& a, const std::vector<bool>& bound,
-                   bool count_repeats) {
+                   bool count_repeats, std::vector<int>* positions = nullptr) {
   int count = 0;
   std::vector<VarId> seen;
-  for (Term t : a.args) {
+  for (int i = 0; i < a.arity(); ++i) {
+    Term t = a.args[i];
+    bool counted = false;
     if (t.is_const()) {
-      ++count;
+      counted = true;
     } else if (bound[t.var()]) {
-      ++count;
+      counted = true;
     } else if (std::find(seen.begin(), seen.end(), t.var()) != seen.end()) {
-      if (count_repeats) ++count;
+      counted = count_repeats;
     } else {
       seen.push_back(t.var());
+    }
+    if (counted) {
+      ++count;
+      if (positions != nullptr) positions->push_back(i);
     }
   }
   return count;
@@ -49,11 +71,24 @@ int BoundPositions(const Atom& a, const std::vector<bool>& bound,
 /// Expected matches per probe of an atom with cardinality `card` and
 /// `arity` columns, `bound` of which are fixed: uniform columns over a
 /// domain of card^(1/arity) values give card / (card^(1/arity))^bound.
-double EffectiveFanout(double card, int arity, int bound) {
+/// The fallback when no measured column stats exist.
+double GuessedFanout(double card, int arity, int bound) {
   if (arity <= 0) return 1.0;
   if (bound >= arity) bound = arity;
   return std::pow(card, static_cast<double>(arity - bound) /
                             static_cast<double>(arity));
+}
+
+/// Expected matches per probe from measured statistics: each bound column
+/// p keeps a 1/distinct(p) fraction of the rows (independence assumed).
+double MeasuredFanout(double card, const std::vector<uint64_t>& distinct,
+                      const std::vector<int>& bound_positions) {
+  double fanout = card;
+  for (int pos : bound_positions) {
+    uint64_t d = pos < static_cast<int>(distinct.size()) ? distinct[pos] : 0;
+    fanout /= static_cast<double>(std::max<uint64_t>(1, d));
+  }
+  return fanout;
 }
 
 void Accumulate(OracleStats* into, const OracleStats& delta) {
@@ -100,9 +135,16 @@ double EstimatePlanCost(const Query& q, const ExtentStats& stats) {
     const Atom& a = q.body()[best];
     used[best] = true;
     // Fan-out: within-atom duplicates do filter, even though they do not
-    // influence the order above.
-    int fanout_bound = BoundPositions(a, bound, /*count_repeats=*/true);
-    running *= EffectiveFanout(best_card, a.arity(), fanout_bound);
+    // influence the order above. Measured per-column distinct counts give
+    // the selectivity of each bound position; predicates never measured
+    // fall back to the uniform-domain guess.
+    std::vector<int> fanout_positions;
+    int fanout_bound =
+        BoundPositions(a, bound, /*count_repeats=*/true, &fanout_positions);
+    const std::vector<uint64_t>* distinct = stats.Distinct(a.pred);
+    running *= distinct != nullptr
+                   ? MeasuredFanout(best_card, *distinct, fanout_positions)
+                   : GuessedFanout(best_card, a.arity(), fanout_bound);
     cost += running;
     for (Term t : a.args) {
       if (t.is_var()) bound[t.var()] = true;
@@ -132,6 +174,9 @@ Result<PlannerResult> ChooseBestPlan(const Query& q, const ViewSet& views,
   ExtentStats merged = base_stats;
   for (const auto& [pred, card] : view_stats.cardinality) {
     merged.cardinality[pred] = card;
+  }
+  for (const auto& [pred, distinct] : view_stats.column_distinct) {
+    merged.column_distinct[pred] = distinct;
   }
 
   ContainmentOptions copts = options.engine.containment;

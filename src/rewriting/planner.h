@@ -22,9 +22,15 @@
 
 namespace aqv {
 
-/// \brief Per-relation cardinalities the planner costs plans against.
+/// \brief Per-relation statistics the planner costs plans against:
+/// cardinalities, plus (when measured from real data) per-column distinct
+/// counts.
 struct ExtentStats {
   std::map<PredId, uint64_t> cardinality;
+  /// Measured per-column distinct counts, keyed like `cardinality`.
+  /// Entries are optional: predicates without one are costed with the
+  /// uniform-domain arity-ratio guess (see EstimatePlanCost).
+  std::map<PredId, std::vector<uint64_t>> column_distinct;
 
   /// Cardinality of `pred` (0 when unknown/absent).
   uint64_t Card(PredId pred) const {
@@ -32,24 +38,38 @@ struct ExtentStats {
     return it == cardinality.end() ? 0 : it->second;
   }
 
-  /// Snapshot of the relation sizes of `db`.
+  /// Measured per-column distinct counts of `pred`, or nullptr.
+  const std::vector<uint64_t>* Distinct(PredId pred) const {
+    auto it = column_distinct.find(pred);
+    return it == column_distinct.end() ? nullptr : &it->second;
+  }
+
+  /// Full measured snapshot of `db`: relation sizes plus the per-column
+  /// distinct counts the relations computed at SortDedup/first-demand
+  /// time (eval/index.h RelationStats, via Database::Stats).
   static ExtentStats FromDatabase(const Database& db);
+
+  /// Sizes only — the pre-measurement feed, kept for the model ablation
+  /// (cost estimates fall back to the arity-ratio guess everywhere).
+  static ExtentStats CardinalitiesOnly(const Database& db);
 };
 
 /// \brief Estimated execution cost of a CQ under a left-deep nested-loop
 /// model that mirrors the evaluator's greedy atom order: at each step the
 /// unused atom with the most bound argument positions joins next
-/// (tie-break on cardinality). An atom of cardinality c and arity a probed
-/// with b bound positions contributes an effective fan-out of
-/// c^((a-b)/a) — every relation is assumed uniform over a per-column
-/// domain of c^(1/a) values, so each bound column divides the match count
-/// by c^(1/a). The cost is the sum of intermediate result sizes, the
-/// quantity EvalStats::intermediate_rows measures.
+/// (tie-break on cardinality). An atom of cardinality c probed with bound
+/// positions B contributes an effective fan-out of
 ///
-/// Unlike the cardinality-only prefix-product model this replaces, the
-/// estimate distinguishes a connected chain join from a cross product of
-/// the same relations: a join probed through a bound variable is charged
-/// c^(1/2) per probe where the cross product is charged c.
+///   c * prod_{p in B} 1/distinct(p)        (measured column stats)
+///   c^((a-b)/a), b = |B|, a = arity        (fallback guess: uniform
+///                                           per-column domain of c^(1/a)
+///                                           values)
+///
+/// where B covers bound variables, constants, and within-atom repeated
+/// variables. The cost is the sum of intermediate result sizes, the
+/// quantity EvalStats::intermediate_rows measures; with measured stats the
+/// estimate tracks skew the arity-ratio guess is blind to (a join through
+/// a 2-valued column fans out c/2, not c^(1/2)).
 double EstimatePlanCost(const Query& q, const ExtentStats& stats);
 
 /// One plan the planner considered.

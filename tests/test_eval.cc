@@ -313,5 +313,180 @@ TEST_F(EvalTest, DatabaseBookkeeping) {
   EXPECT_EQ(db.Predicates().size(), 1u);
 }
 
+TEST_F(EvalTest, RelationColumnarAdapters) {
+  Relation r(0, 3);
+  r.Add({1, 2, 3});
+  r.Add({4, 5, 6});
+  EXPECT_STREQ(r.StorageBackend(), "columnar");
+  // Row-major reads are adapters over per-column storage.
+  EXPECT_EQ(r.at(1, 0), 4);
+  EXPECT_EQ(r.at(0, 2), 3);
+  EXPECT_EQ(r.RowCopy(0), (std::vector<Value>{1, 2, 3}));
+  // Column pointers are contiguous per column.
+  const Value* col1 = r.ColumnData(1);
+  EXPECT_EQ(col1[0], 2);
+  EXPECT_EQ(col1[1], 5);
+}
+
+TEST_F(EvalTest, ContainsBinarySearchesWhenSorted) {
+  Relation r(0, 2);
+  // Empty and single-row relations are vacuously sorted.
+  EXPECT_TRUE(r.sorted());
+  r.Add({5, 5});
+  EXPECT_TRUE(r.sorted());
+  r.Add({1, 2});
+  r.Add({3, 4});
+  EXPECT_FALSE(r.sorted());  // appends out of order
+  // Linear fallback still answers correctly while unsorted.
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({2, 1}));
+  r.SortDedup();
+  EXPECT_TRUE(r.sorted());
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_TRUE(r.Contains({3, 4}));
+  EXPECT_TRUE(r.Contains({5, 5}));
+  EXPECT_FALSE(r.Contains({0, 0}));
+  EXPECT_FALSE(r.Contains({6, 6}));
+  EXPECT_FALSE(r.Contains({3, 5}));
+}
+
+TEST_F(EvalTest, IndexCacheLifecycle) {
+  Relation r(0, 2);
+  r.Add({1, 10});
+  r.Add({2, 20});
+  r.Add({1, 30});
+  bool built = false;
+  auto idx = r.IndexOn({0}, &built);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_TRUE(built);
+  EXPECT_EQ(r.CachedIndexCount(), 1u);
+  const std::vector<uint32_t>* rows = idx->Find({1});
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(*rows, (std::vector<uint32_t>{0, 2}));  // ascending row ids
+  EXPECT_EQ(idx->Find({99}), nullptr);
+
+  // Second request on the same columns is a cache hit.
+  auto again = r.IndexOn({0}, &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(again.get(), idx.get());
+  // A different column set is a separate cached index.
+  r.IndexOn({1}, &built);
+  EXPECT_TRUE(built);
+  EXPECT_EQ(r.CachedIndexCount(), 2u);
+
+  // Mutation invalidates every cached index; the old snapshot stays
+  // valid for holders.
+  r.Add({3, 40});
+  EXPECT_EQ(r.CachedIndexCount(), 0u);
+  EXPECT_EQ(idx->rows_indexed, 3u);
+  auto rebuilt = r.IndexOn({0}, &built);
+  EXPECT_TRUE(built);
+  EXPECT_EQ(rebuilt->rows_indexed, 4u);
+}
+
+TEST_F(EvalTest, RelationCopySharesCachedIndexes) {
+  Relation r(0, 2);
+  r.Add({1, 10});
+  r.Add({2, 20});
+  bool built = false;
+  auto idx = r.IndexOn({0}, &built);
+  Relation copy = r;  // datalog's `Database db = edb` path
+  auto from_copy = copy.IndexOn({0}, &built);
+  EXPECT_FALSE(built) << "copy should share the source's index snapshot";
+  EXPECT_EQ(from_copy.get(), idx.get());
+  // Mutating the copy invalidates only the copy's cache.
+  copy.Add({3, 30});
+  EXPECT_EQ(copy.CachedIndexCount(), 0u);
+  EXPECT_EQ(r.CachedIndexCount(), 1u);
+}
+
+TEST_F(EvalTest, MeasuredStatisticsPerColumn) {
+  Relation r(0, 2);
+  r.Add({1, 7});
+  r.Add({2, 7});
+  r.Add({3, 7});
+  r.Add({1, 7});  // duplicate row
+  r.SortDedup();
+  auto stats = r.Measured();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->cardinality, 3u);
+  ASSERT_EQ(stats->columns.size(), 2u);
+  EXPECT_EQ(stats->columns[0].distinct, 3u);
+  EXPECT_EQ(stats->columns[1].distinct, 1u);
+  EXPECT_TRUE(stats->columns[0].has_numeric_range);
+  EXPECT_EQ(stats->columns[0].min, 1);
+  EXPECT_EQ(stats->columns[0].max, 3);
+  // Cached until mutation: same snapshot object.
+  EXPECT_EQ(r.Measured().get(), stats.get());
+  r.Add({9, 9});
+  auto fresh = r.Measured();
+  EXPECT_EQ(fresh->cardinality, 4u);
+  EXPECT_EQ(fresh->columns[1].distinct, 2u);
+}
+
+TEST_F(EvalTest, MeasuredStatisticsSymbolicColumnsHaveNoRange) {
+  Relation r(0, 1);
+  r.Add({SymbolicValue(1)});
+  r.Add({SymbolicValue(2)});
+  r.SortDedup();
+  auto stats = r.Measured();
+  EXPECT_EQ(stats->columns[0].distinct, 2u);
+  EXPECT_FALSE(stats->columns[0].has_numeric_range);
+}
+
+TEST_F(EvalTest, DatabaseStatsSurface) {
+  Database db(&cat_);
+  PredId e = cat_.GetOrAddPredicate("measured", 2).value();
+  EXPECT_EQ(db.Stats(e), nullptr);  // never touched
+  db.Add(e, {1, 2});
+  db.Add(e, {1, 3});
+  auto stats = db.Stats(e);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->cardinality, 2u);
+  EXPECT_EQ(stats->columns[0].distinct, 1u);
+  EXPECT_EQ(stats->columns[1].distinct, 2u);
+}
+
+TEST_F(EvalTest, EvalStatsCountersTrackIndexUse) {
+  Query q = Parse("q(X, Z) :- e(X, Y), f(Y, Z).");
+  Database db(&cat_);
+  db.Add(cat_.FindPredicate("e").value(), {1, 2});
+  db.Add(cat_.FindPredicate("f").value(), {2, 3});
+  EvalOptions hot;
+  EvalStats cold_run;
+  auto first = EvaluateQuery(q, db, hot, &cold_run);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(cold_run.index_builds, 0u);
+  EXPECT_EQ(cold_run.index_hits, 0u);
+  EXPECT_GT(cold_run.probes, 0u);
+  EvalStats warm_run;
+  ASSERT_TRUE(EvaluateQuery(q, db, hot, &warm_run).ok());
+  EXPECT_EQ(warm_run.index_builds, 0u);
+  EXPECT_GT(warm_run.index_hits, 0u);
+  EXPECT_EQ(warm_run.probes, cold_run.probes);
+}
+
+TEST_F(EvalTest, ConstantProbesUseCachedIndexes) {
+  // A constant-only atom position is part of the cached index key, so
+  // point lookups like f(Y, 7) probe instead of scanning.
+  Query q = Parse("q(X) :- e(X, Y), f(Y, 7).");
+  Database db(&cat_);
+  PredId e = cat_.FindPredicate("e").value();
+  PredId f = cat_.FindPredicate("f").value();
+  for (int i = 0; i < 10; ++i) {
+    db.Add(e, {i, i});
+    db.Add(f, {i, i == 3 ? 7 : 0});
+  }
+  EvalStats stats;
+  auto r = EvaluateQuery(q, db, EvalOptions(), &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Rows(), (std::vector<std::vector<Value>>{{3}}));
+  EXPECT_GT(stats.index_builds, 0u);
+  EvalStats warm;
+  ASSERT_TRUE(EvaluateQuery(q, db, EvalOptions(), &warm).ok());
+  EXPECT_EQ(warm.index_builds, 0u);
+  EXPECT_GT(warm.index_hits, 0u);
+}
+
 }  // namespace
 }  // namespace aqv

@@ -1,0 +1,194 @@
+/// Property tests for the cached-index evaluator: across randomized
+/// generated scenarios, evaluation with persistent cached hash indexes
+/// must produce bit-identical relations, identical intermediate-row
+/// counts, and identical probe counts to the cold per-query-index
+/// baseline; the intermediate_row_cap must fire at exactly the same row
+/// counts either way.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cq/parser.h"
+#include "eval/evaluator.h"
+#include "eval/materialize.h"
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+
+namespace aqv {
+namespace {
+
+EvalOptions HotOptions() {
+  EvalOptions o;
+  o.use_cached_indexes = true;
+  return o;
+}
+
+EvalOptions ColdOptions() {
+  EvalOptions o;
+  o.use_cached_indexes = false;
+  return o;
+}
+
+/// Bit-identical comparison: same rows in the same order (SameSet would
+/// hide ordering divergence, which the determinism invariant forbids).
+void ExpectBitIdentical(const Relation& a, const Relation& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.arity(), b.arity()) << what;
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(a.Rows(), b.Rows()) << what;
+}
+
+TEST(EvalProperties, CachedVsColdBitIdenticalAcrossGeneratedScenarios) {
+  // >= 20 pinned seeds over varied generator knobs. Each scenario is
+  // checked on two surfaces: the query over the hidden base, and full
+  // view materialization (which exercises index reuse across view
+  // definitions sharing base relations).
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    GeneratedScenarioSpec spec;
+    spec.seed = seed;
+    spec.num_predicates = 4 + static_cast<int>(seed % 5);
+    spec.query_atoms = 2 + static_cast<int>(seed % 3);
+    spec.num_views = 8 + static_cast<int>(seed % 7);
+    spec.min_view_atoms = 1;
+    spec.max_view_atoms = 3;
+    spec.redundancy = (seed % 4) * 0.1;
+    spec.noise_view_fraction = (seed % 3) * 0.1;
+    spec.facts_per_predicate = 20 + static_cast<int>(seed % 13) * 5;
+    spec.domain_size = 10 + static_cast<int>(seed % 17);
+    spec.zipf_skew = (seed % 2) ? 0.9 : 0.0;
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    auto scenario = GenerateScenario(spec);
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    const Scenario& s = scenario.value();
+
+    EvalStats hot_stats;
+    EvalStats cold_stats;
+    auto hot = EvaluateQuery(s.query, s.base, HotOptions(), &hot_stats);
+    auto cold = EvaluateQuery(s.query, s.base, ColdOptions(), &cold_stats);
+    ASSERT_TRUE(hot.ok()) << hot.status().ToString();
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    ExpectBitIdentical(hot.value(), cold.value(), "query over base");
+    EXPECT_EQ(hot_stats.intermediate_rows, cold_stats.intermediate_rows);
+    EXPECT_EQ(hot_stats.probes, cold_stats.probes);
+    EXPECT_EQ(cold_stats.index_hits, 0u);
+
+    // Re-evaluating with the caches warm must change nothing but the
+    // hit/build counters.
+    EvalStats warm_stats;
+    auto warm = EvaluateQuery(s.query, s.base, HotOptions(), &warm_stats);
+    ASSERT_TRUE(warm.ok());
+    ExpectBitIdentical(hot.value(), warm.value(), "warm re-evaluation");
+    EXPECT_EQ(warm_stats.intermediate_rows, hot_stats.intermediate_rows);
+    EXPECT_EQ(warm_stats.index_builds, 0u);
+
+    auto hot_extents = MaterializeViews(s.views, s.base, HotOptions());
+    auto cold_extents = MaterializeViews(s.views, s.base, ColdOptions());
+    ASSERT_TRUE(hot_extents.ok()) << hot_extents.status().ToString();
+    ASSERT_TRUE(cold_extents.ok()) << cold_extents.status().ToString();
+    std::vector<PredId> hot_preds = hot_extents.value().Predicates();
+    ASSERT_EQ(hot_preds, cold_extents.value().Predicates());
+    for (PredId p : hot_preds) {
+      ExpectBitIdentical(*hot_extents.value().Find(p),
+                         *cold_extents.value().Find(p),
+                         "extent of pred " + std::to_string(p));
+    }
+  }
+}
+
+TEST(EvalProperties, RowCapFiresAtSameCountsWithIndexesOn) {
+  // A cross-product-heavy query with a known intermediate-row footprint:
+  // the cap must fire at exactly the same counts in both modes.
+  Catalog cat;
+  Query q = ParseQuery("q(X, Y) :- r(X, A), s(Y, B).", &cat).value();
+  Database db(&cat);
+  PredId r = cat.FindPredicate("r").value();
+  PredId s = cat.FindPredicate("s").value();
+  for (int i = 0; i < 30; ++i) {
+    db.Add(r, {i, i % 5});
+    db.Add(s, {i, i % 7});
+  }
+  db.DedupAll();
+
+  EvalStats reference;
+  ASSERT_TRUE(EvaluateQuery(q, db, HotOptions(), &reference).ok());
+  ASSERT_GT(reference.intermediate_rows, 0u);
+
+  for (bool cached : {true, false}) {
+    SCOPED_TRACE(cached ? "cached" : "cold");
+    EvalOptions at_cap = cached ? HotOptions() : ColdOptions();
+    at_cap.intermediate_row_cap = reference.intermediate_rows;
+    EvalStats at_cap_stats;
+    EXPECT_TRUE(EvaluateQuery(q, db, at_cap, &at_cap_stats).ok());
+    EXPECT_EQ(at_cap_stats.intermediate_rows, reference.intermediate_rows);
+
+    EvalOptions below_cap = at_cap;
+    below_cap.intermediate_row_cap = reference.intermediate_rows - 1;
+    auto overrun = EvaluateQuery(q, db, below_cap);
+    ASSERT_FALSE(overrun.ok());
+    EXPECT_EQ(overrun.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(EvalProperties, UnionDisjunctsShareCachedIndexes) {
+  // Two disjuncts joining the same relation on the same key columns: the
+  // first builds the index, the second must hit it.
+  Catalog cat;
+  Query d1 = ParseQuery("q(X, Z) :- a(X, Y), b(Y, Z).", &cat).value();
+  Query d2 = ParseQuery("q(X, Z) :- c(X, Y), b(Y, Z).", &cat).value();
+  Database db(&cat);
+  PredId a = cat.FindPredicate("a").value();
+  PredId b = cat.FindPredicate("b").value();
+  PredId c = cat.FindPredicate("c").value();
+  for (int i = 0; i < 40; ++i) {
+    db.Add(a, {i, i % 10});
+    db.Add(b, {i % 10, i});
+    db.Add(c, {i + 100, i % 10});
+  }
+  db.DedupAll();
+  UnionQuery u;
+  u.disjuncts = {d1, d2};
+
+  EvalStats stats;
+  auto hot = EvaluateUnion(u, db, HotOptions(), &stats);
+  ASSERT_TRUE(hot.ok()) << hot.status().ToString();
+  // b's index on its probe columns is built by the first disjunct and
+  // reused by the second.
+  EXPECT_GE(stats.index_hits, 1u) << "no index sharing across disjuncts";
+
+  // And the shared-index union still matches the cold baseline
+  // bit-for-bit.
+  EvalStats cold_stats;
+  auto cold = EvaluateUnion(u, db, ColdOptions(), &cold_stats);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(hot.value().Rows(), cold.value().Rows());
+  EXPECT_EQ(stats.intermediate_rows, cold_stats.intermediate_rows);
+  EXPECT_EQ(cold_stats.index_hits, 0u);
+}
+
+TEST(EvalProperties, RepeatedAnswersReuseIndexesOnStaticData) {
+  // The repeated-`answer` regime the cache exists for: on an unchanged
+  // database, every evaluation after the first is all hits, no builds.
+  Scenario s = MakeWarehouseScenario(11, 500).value();
+  EvalStats first;
+  ASSERT_TRUE(EvaluateQuery(s.query, s.base, HotOptions(), &first).ok());
+  EXPECT_GT(first.index_builds, 0u);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EvalStats again;
+    ASSERT_TRUE(EvaluateQuery(s.query, s.base, HotOptions(), &again).ok());
+    EXPECT_EQ(again.index_builds, 0u);
+    EXPECT_GT(again.index_hits, 0u);
+    EXPECT_EQ(again.intermediate_rows, first.intermediate_rows);
+  }
+
+  // Mutation invalidates: adding a fact forces a rebuild on next touch.
+  PredId sale = s.catalog->FindPredicate("sale").value();
+  s.base.Add(sale, {1, 1});
+  EvalStats after_mutation;
+  ASSERT_TRUE(
+      EvaluateQuery(s.query, s.base, HotOptions(), &after_mutation).ok());
+  EXPECT_GT(after_mutation.index_builds, 0u);
+}
+
+}  // namespace
+}  // namespace aqv

@@ -29,6 +29,51 @@ TEST_F(PlannerTest, StatsFromDatabase) {
   ExtentStats stats = ExtentStats::FromDatabase(db);
   EXPECT_EQ(stats.Card(r), 2u);
   EXPECT_EQ(stats.Card(r + 100), 0u);
+  // FromDatabase carries the measured per-column distinct counts;
+  // CardinalitiesOnly (the model-ablation feed) does not.
+  const std::vector<uint64_t>* distinct = stats.Distinct(r);
+  ASSERT_NE(distinct, nullptr);
+  EXPECT_EQ(*distinct, (std::vector<uint64_t>{2, 2}));
+  ExtentStats sizes = ExtentStats::CardinalitiesOnly(db);
+  EXPECT_EQ(sizes.Card(r), 2u);
+  EXPECT_EQ(sizes.Distinct(r), nullptr);
+}
+
+TEST_F(PlannerTest, MeasuredSelectivityBeatsArityRatioGuessOnSkew) {
+  // Two join targets with identical cardinality and arity: `wide` has n
+  // distinct join keys (fanout ~1 per probe), `narrow` only 2 (fanout
+  // n/2). The arity-ratio guess sees no difference; the measured model
+  // and the evaluator's actual intermediate-row counters both do.
+  Query via_wide = Parse("qw(X, Z) :- src(X, Y), wide(Y, Z).");
+  Query via_narrow = Parse("qn(X, Z) :- src(X, Y), narrow(Y, Z).");
+  Database db(&cat_);
+  PredId src = cat_.FindPredicate("src").value();
+  PredId wide = cat_.FindPredicate("wide").value();
+  PredId narrow = cat_.FindPredicate("narrow").value();
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    db.Add(src, {i, i % 2});
+    db.Add(wide, {i, i});
+    db.Add(narrow, {i % 2, i});
+  }
+  db.DedupAll();
+
+  ExtentStats guessed = ExtentStats::CardinalitiesOnly(db);
+  EXPECT_DOUBLE_EQ(EstimatePlanCost(via_wide, guessed),
+                   EstimatePlanCost(via_narrow, guessed))
+      << "sanity: the size-only guess cannot tell the plans apart";
+
+  ExtentStats measured = ExtentStats::FromDatabase(db);
+  double wide_cost = EstimatePlanCost(via_wide, measured);
+  double narrow_cost = EstimatePlanCost(via_narrow, measured);
+  EXPECT_LT(wide_cost, narrow_cost);
+
+  EvalStats wide_stats;
+  ASSERT_TRUE(EvaluateQuery(via_wide, db, {}, &wide_stats).ok());
+  EvalStats narrow_stats;
+  ASSERT_TRUE(EvaluateQuery(via_narrow, db, {}, &narrow_stats).ok());
+  EXPECT_LT(wide_stats.intermediate_rows, narrow_stats.intermediate_rows)
+      << "the measured model's ordering must match real evaluation";
 }
 
 TEST_F(PlannerTest, CostPrefersSmallRelations) {

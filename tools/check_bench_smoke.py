@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Sanity-checks a merged bench report (tools/run_bench.sh output).
+
+Asserts the cached-index machinery actually engaged during the run:
+every F5 Indexed:1 evaluation benchmark must report a nonzero
+`index_hits` counter and zero `index_builds` (the setup primes the
+caches, so a warm run that builds anything — or hits nothing — means
+the cache is broken or disabled), and every Indexed:0 baseline must
+report zero `index_hits`.
+
+Usage: tools/check_bench_smoke.py BENCH.json
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_bench_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH.json")
+    with open(sys.argv[1]) as f:
+        merged = json.load(f)
+
+    suite = merged.get("suites", {}).get("bench_f5_eval_speedup")
+    if suite is None:
+        fail("no bench_f5_eval_speedup suite in the report")
+
+    checked = 0
+    for bench in suite.get("benchmarks", []):
+        name = bench.get("name", "")
+        if "Indexed:" not in name:
+            continue
+        hits = bench.get("index_hits")
+        builds = bench.get("index_builds")
+        if hits is None or builds is None:
+            fail(f"{name}: missing index_hits/index_builds counters")
+        if "Indexed:1" in name:
+            if hits <= 0:
+                fail(f"{name}: warm run reported index_hits={hits}")
+            if builds != 0:
+                fail(f"{name}: warm run reported index_builds={builds}")
+        else:
+            if hits != 0:
+                fail(f"{name}: cold baseline reported index_hits={hits}")
+        checked += 1
+
+    if checked == 0:
+        fail("no Indexed:* benchmarks found in bench_f5_eval_speedup")
+    print(f"check_bench_smoke: OK ({checked} F5 benchmarks checked)")
+
+
+if __name__ == "__main__":
+    main()
