@@ -20,6 +20,17 @@ void Database::Add(PredId pred, const std::vector<Value>& row) {
   GetOrCreate(pred)->Add(row);
 }
 
+Relation* Database::Install(Relation rel) {
+  PredId pred = rel.pred();
+  auto it = rels_.find(pred);
+  if (it == rels_.end()) {
+    it = rels_.emplace(pred, std::move(rel)).first;
+  } else {
+    it->second = std::move(rel);
+  }
+  return &it->second;
+}
+
 std::vector<PredId> Database::Predicates() const {
   std::vector<PredId> out;
   out.reserve(rels_.size());

@@ -31,6 +31,11 @@ class Database {
   /// Appends a tuple to `pred`'s relation.
   void Add(PredId pred, const std::vector<Value>& row);
 
+  /// Installs `rel` as the relation of its own predicate, replacing any
+  /// existing one — how the storage engine mounts persisted extents
+  /// (possibly mmap-backed) into a database. Returns the installed slot.
+  Relation* Install(Relation rel);
+
   /// Predicates with a (possibly empty) relation present.
   std::vector<PredId> Predicates() const;
 

@@ -1,0 +1,179 @@
+#include "eval/mmap_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace aqv {
+
+Result<std::shared_ptr<const MemMap>> MemMap::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    std::string err = std::strerror(errno);
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: '" + path + "'");
+    }
+    return Status::Internal("open '" + path + "' failed: " + err);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("fstat '" + path + "' failed: " + err);
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  const uint8_t* data = nullptr;
+  if (size > 0) {
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (mapped == MAP_FAILED) {
+      std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("mmap '" + path + "' failed: " + err);
+    }
+    data = static_cast<const uint8_t*>(mapped);
+  }
+  // The mapping keeps the file contents alive on its own; holding the fd
+  // open would only leak descriptors across long sessions.
+  ::close(fd);
+  return std::shared_ptr<const MemMap>(new MemMap(path, data, size));
+}
+
+MemMap::~MemMap() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+namespace {
+
+class MmapStore final : public ColumnStore {
+ public:
+  MmapStore(std::shared_ptr<const MemMap> map, size_t offset, int arity,
+            size_t rows)
+      : map_(std::move(map)),
+        base_(reinterpret_cast<const Value*>(map_->data() + offset)),
+        base_rows_(rows),
+        arity_(arity) {
+    assert(arity_ >= 1);
+    assert(offset % alignof(Value) == 0);
+    assert(offset + static_cast<size_t>(arity_) * rows * sizeof(Value) <=
+           map_->size());
+  }
+
+  int arity() const override { return arity_; }
+
+  size_t rows() const override {
+    return upgraded_ ? cols_[0].size() : base_rows_;
+  }
+
+  const Value* Column(int c) const override {
+    if (upgraded_) return cols_[static_cast<size_t>(c)].data();
+    return base_ + static_cast<size_t>(c) * base_rows_;
+  }
+
+  void Reserve(size_t n) override {
+    Upgrade();
+    for (auto& col : cols_) col.reserve(n);
+  }
+
+  void Append(const Value* row) override {
+    Upgrade();
+    for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(row[c]);
+  }
+
+  void Rewrite(const std::vector<uint32_t>& keep) override {
+    // Materializes exactly the kept rows: the common SortDedup-after-open
+    // case never copies dropped tuples out of the file.
+    if (!upgraded_) {
+      std::vector<std::vector<Value>> out(static_cast<size_t>(arity_));
+      for (int c = 0; c < arity_; ++c) {
+        const Value* col = Column(c);
+        auto& dst = out[static_cast<size_t>(c)];
+        dst.reserve(keep.size());
+        for (uint32_t r : keep) dst.push_back(col[r]);
+      }
+      cols_ = std::move(out);
+      upgraded_ = true;
+      map_.reset();
+      return;
+    }
+    for (auto& col : cols_) {
+      std::vector<Value> out;
+      out.reserve(keep.size());
+      for (uint32_t r : keep) out.push_back(col[r]);
+      col = std::move(out);
+    }
+  }
+
+  void Clear() override {
+    if (!upgraded_) {
+      cols_.assign(static_cast<size_t>(arity_), {});
+      upgraded_ = true;
+      map_.reset();
+      return;
+    }
+    for (auto& col : cols_) col.clear();
+  }
+
+  std::unique_ptr<ColumnStore> Clone() const override {
+    if (!upgraded_) {
+      // Pre-mutation clones share the mapping — O(1) in file bytes.
+      return std::unique_ptr<ColumnStore>(
+          new MmapStore(map_, base_, base_rows_, arity_));
+    }
+    auto copy = MakeColumnarStore(arity_);
+    copy->Reserve(cols_[0].size());
+    std::vector<Value> row(static_cast<size_t>(arity_));
+    for (size_t r = 0; r < cols_[0].size(); ++r) {
+      for (int c = 0; c < arity_; ++c) {
+        row[static_cast<size_t>(c)] = cols_[static_cast<size_t>(c)][r];
+      }
+      copy->Append(row.data());
+    }
+    return copy;
+  }
+
+  const char* Backend() const override { return "mmap"; }
+
+ private:
+  MmapStore(std::shared_ptr<const MemMap> map, const Value* base, size_t rows,
+            int arity)
+      : map_(std::move(map)), base_(base), base_rows_(rows), arity_(arity) {}
+
+  /// Copies every column into private heap vectors and releases the
+  /// mapping reference; called before the first mutation.
+  void Upgrade() {
+    if (upgraded_) return;
+    cols_.resize(static_cast<size_t>(arity_));
+    for (int c = 0; c < arity_; ++c) {
+      const Value* col = Column(c);
+      cols_[static_cast<size_t>(c)].assign(col, col + base_rows_);
+    }
+    upgraded_ = true;
+    map_.reset();
+  }
+
+  std::shared_ptr<const MemMap> map_;
+  const Value* base_;
+  size_t base_rows_;
+  int arity_;
+  bool upgraded_ = false;
+  std::vector<std::vector<Value>> cols_;
+};
+
+}  // namespace
+
+std::unique_ptr<ColumnStore> MakeMmapStore(std::shared_ptr<const MemMap> map,
+                                           size_t offset, int arity,
+                                           size_t rows) {
+  return std::make_unique<MmapStore>(std::move(map), offset, arity, rows);
+}
+
+}  // namespace aqv

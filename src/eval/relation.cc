@@ -11,6 +11,14 @@ Relation::Relation(PredId pred, int arity) : pred_(pred), arity_(arity) {
   if (arity_ > 0) store_ = MakeColumnarStore(arity_);
 }
 
+Relation::Relation(PredId pred, int arity, std::unique_ptr<ColumnStore> store,
+                   bool sorted)
+    : pred_(pred), arity_(arity), store_(std::move(store)) {
+  assert(arity_ >= 1);
+  assert(store_ != nullptr && store_->arity() == arity_);
+  sorted_ = sorted || store_->rows() <= 1;
+}
+
 Relation::Relation(const Relation& other)
     : pred_(other.pred_),
       arity_(other.arity_),

@@ -39,6 +39,13 @@ class Relation {
   Relation() = default;
   Relation(PredId pred, int arity);
 
+  /// Adopts an existing store (arity >= 1) — how the storage engine
+  /// installs persisted extents behind an mmap or columnar backend.
+  /// `sorted` asserts the rows are lexicographically sorted+deduplicated
+  /// (recorded in the segment header at save time).
+  Relation(PredId pred, int arity, std::unique_ptr<ColumnStore> store,
+           bool sorted);
+
   Relation(const Relation& other);
   Relation& operator=(const Relation& other);
   Relation(Relation&& other) noexcept;

@@ -1,13 +1,14 @@
 /// \file
 /// The relation storage interface: Relation delegates physical tuple
-/// layout to a ColumnStore so backends are interchangeable (the refactor
-/// ROADMAP flags as the unlock for a later mmap/persistent backend). The
-/// one shipped implementation is columnar — one contiguous
-/// `std::vector<Value>` per column — which keeps join-key extraction and
-/// per-column statistics scans cache-friendly at million-row extents.
-/// Row-major callers go through Relation's adapter API (`at`, `RowCopy`,
-/// `Rows`); the hot paths (evaluator, index build, stats) read whole
-/// columns via `Column()`.
+/// layout to a ColumnStore so backends are interchangeable. Two backends
+/// ship: the in-memory columnar store here — one contiguous
+/// `std::vector<Value>` per column, which keeps join-key extraction and
+/// per-column statistics scans cache-friendly at million-row extents —
+/// and the read-only mmap store (eval/mmap_store.h) serving persisted
+/// segment files so extents far larger than RAM evaluate through the same
+/// interface. Row-major callers go through Relation's adapter API (`at`,
+/// `RowCopy`, `Rows`); the hot paths (evaluator, index build, stats) read
+/// whole columns via `Column()`.
 
 #ifndef AQV_EVAL_STORAGE_H_
 #define AQV_EVAL_STORAGE_H_

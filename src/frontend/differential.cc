@@ -177,12 +177,24 @@ bool MirrorChecker::IsCheckable(std::string_view command) {
   std::string_view first = FirstWord(command);
   if (first.empty() || first[0] == '%' || first[0] == '#') return false;
   if (command == "STATS" || first == "load") return false;
+  if (first == "save" || first == "open") return false;
   if (first == "show" && SecondWord(command) == "stats") return false;
   return true;
 }
 
 std::optional<Divergence> MirrorChecker::Check(const std::string& command,
                                                const std::string& raw_response) {
+  std::string_view first_word = FirstWord(command);
+  if (first_word == "save" || first_word == "open") {
+    // The mirror never touches disk. Skipping save/open entirely keeps it
+    // in lock-step anyway: mutations are journaled as they run, so a
+    // server-side `open` reloads exactly the state both sides already
+    // hold — and every answer byte-compare after this point doubles as a
+    // persistence round-trip check (recovered state vs never-persisted
+    // mirror state).
+    ++index_;
+    return std::nullopt;
+  }
   CommandResult mirror =
       session_.Execute(command == "STATS" ? "show stats" : command);
   int index = index_++;

@@ -99,6 +99,11 @@ Result<SoakScript> SoakScriptFromScenario(const Scenario& scenario,
   if (scenario.views.empty()) {
     return Status::InvalidArgument("soak script needs a non-empty ViewSet");
   }
+  if (options.persist_dir.find_first_of(" \t") != std::string::npos) {
+    return Status::InvalidArgument(
+        "persist_dir must not contain whitespace: '" + options.persist_dir +
+        "'");
+  }
 
   AQV_ASSIGN_OR_RETURN(std::string facts, FactLines(scenario));
   Rng rng(options.seed);
@@ -145,9 +150,26 @@ Result<SoakScript> SoakScriptFromScenario(const Scenario& scenario,
     *text += facts;
     *text += "query " + scenario.query.ToString() + "\n";
   };
+  const bool persist = !options.persist_dir.empty();
+  // Persistence discipline: `save` right after every (re)build — in
+  // particular after each `reset`, which detaches the store — so every
+  // later `open` finds a committed snapshot; mutations between save and
+  // open ride the journal.
+  auto save = [&](std::string* text) {
+    if (!persist) return;
+    *text += "save " + options.persist_dir + "\n";
+    ++out.saves;
+  };
+  auto reopen = [&](std::string* text) {
+    if (!persist) return;
+    *text += "% recovery probe: reload snapshot + journal tail\n";
+    *text += "open " + options.persist_dir + "\n";
+    ++out.opens;
+  };
 
   std::string text = "% soak script: " + scenario.description + "\n";
   rebuild(&text);
+  save(&text);
   probes(&text);
 
   for (int cycle = 0; cycle < options.churn_cycles; ++cycle) {
@@ -166,6 +188,9 @@ Result<SoakScript> SoakScriptFromScenario(const Scenario& scenario,
       }
       active.insert(active.end(), adds.begin(), adds.end());
       std::sort(active.begin(), active.end());
+      // The added views were journaled live; reopening replays them on
+      // top of the snapshot, so the probes below run on recovered state.
+      reopen(&text);
       probes(&text);
     }
     int retire = std::min<int>(
@@ -180,6 +205,7 @@ Result<SoakScript> SoakScriptFromScenario(const Scenario& scenario,
       text += "% churn: retire " + std::to_string(retire) +
               " view(s) (reset + rebuild)\nreset\n";
       rebuild(&text);
+      save(&text);
       probes(&text);
     }
   }

@@ -48,6 +48,12 @@ struct SoakScriptOptions {
   double holdback_fraction = 0.2;
   /// Fraction of the active views retired per cycle.
   double retire_fraction = 0.25;
+  /// When non-empty: the script persists itself through this database
+  /// directory — `save` after every (re)build, `open` after every add
+  /// churn (a recovery probe: the probes that follow interrogate state
+  /// reloaded from disk + journal replay instead of the live session).
+  /// Must not contain whitespace (the save/open command syntax).
+  std::string persist_dir;
 };
 
 /// A rendered soak script plus the ground-truth expectations tests and the
@@ -62,6 +68,9 @@ struct SoakScript {
   /// Total `answer` / `rewrite` probe commands in the script.
   int answer_probes = 0;
   int rewrite_probes = 0;
+  /// Total `save` / `open` commands (0 unless persist_dir is set).
+  int saves = 0;
+  int opens = 0;
 };
 
 /// \brief Renders `scenario` as a probed, churning session script: each

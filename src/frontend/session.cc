@@ -115,10 +115,12 @@ CommandResult Session::Execute(std::string_view line) {
     return r;
   }
   if (cmd == "help") return CmdHelp();
-  if (cmd == "view") return CmdView(rest);
-  if (cmd == "query") return CmdQuery(rest);
-  if (cmd == "fact") return CmdFact(rest);
+  if (cmd == "view") return Journaled(trimmed, CmdView(rest));
+  if (cmd == "query") return Journaled(trimmed, CmdQuery(rest));
+  if (cmd == "fact") return Journaled(trimmed, CmdFact(rest));
   if (cmd == "load") return CmdLoad(rest);
+  if (cmd == "save") return CmdSave(rest);
+  if (cmd == "open") return CmdOpen(rest);
   if (cmd == "show") return CmdShow(rest);
   if (cmd == "rewrite") return CmdRewrite(rest);
   if (cmd == "answer") return CmdAnswer(rest);
@@ -149,7 +151,10 @@ CommandResult Session::CmdHelp() {
       "  rewrite [with <engine>]\n"
       "  answer [route <route>] [with <engine>]\n"
       "  explain           cost-rank every equivalent plan\n"
-      "  reset             drop views, facts, and the query\n"
+      "  save <dir>        snapshot the session into a database directory\n"
+      "  open <dir>        load a database directory (snapshot + journal)\n"
+      "  reset             drop views, facts, and the query (detaches the "
+      "store)\n"
       "  help              this text\n"
       "  quit              end the session\n"
       "engines: lmss, bucket, minicon, ucq\n"
@@ -554,6 +559,14 @@ CommandResult Session::CmdExplain() {
 }
 
 CommandResult Session::CmdReset() {
+  // Journal the reset before detaching, so recovery of the directory
+  // replays it (the last record any journal can hold — nothing journals
+  // after the detach below).
+  Status journal = Status::OK();
+  bool was_attached = store_ != nullptr;
+  if (was_attached && !replaying_journal_) {
+    journal = store_->Append("reset");
+  }
   // Retire, don't free: an attached oracle may hold entries keyed by the
   // old catalog's address (see retired_catalogs_).
   retired_catalogs_.push_back(std::move(catalog_));
@@ -562,7 +575,154 @@ CommandResult Session::CmdReset() {
   base_ = Database(catalog_.get());
   query_.reset();
   last_rewrite_ = RewriteStats{};
-  return Say("session reset");
+  if (was_attached && !replaying_journal_) {
+    // Release every store resource: the journal descriptor and directory
+    // lock close here; mmap'd extents unmapped when base_ was replaced
+    // above. The catalog is retired (oracle contract) but holds no fds.
+    store_.reset();
+  }
+  // One fixed payload whether or not a store detached: the differential
+  // mirror (never attached) must byte-match a persisted server session.
+  CommandResult result = Say("session reset");
+  if (!journal.ok()) result.status = std::move(journal);
+  return result;
+}
+
+CommandResult Session::Journaled(const std::string& line,
+                                 CommandResult result) {
+  if (result.ok() && store_ != nullptr && !replaying_journal_) {
+    Status st = store_->Append(line);
+    if (!st.ok()) result.status = std::move(st);
+  }
+  return result;
+}
+
+SnapshotInput Session::RenderSnapshot() const {
+  SnapshotInput input;
+  input.catalog = catalog_.get();
+  input.base = &base_;
+  for (const View& v : views_.views()) {
+    input.view_rules.push_back(v.definition.ToString());
+  }
+  if (query_.has_value()) {
+    for (const Query& d : query_->disjuncts) {
+      input.query_rules.push_back(d.ToString());
+    }
+  }
+  return input;
+}
+
+std::string Session::ProblemSummary() const {
+  return CountNoun(static_cast<size_t>(views_.size()), "view", "views") +
+         ", " + CountNoun(base_.TotalTuples(), "fact", "facts") + ", query " +
+         (query_.has_value() ? "set" : "unset");
+}
+
+CommandResult Session::CmdSave(const std::string& rest) {
+  if (!options_.enable_persist) {
+    return Fail(Status::Unimplemented("save/open are disabled in this "
+                                      "session"));
+  }
+  if (rest.empty() || rest.find_first_of(" \t") != std::string::npos) {
+    return Fail(Status::InvalidArgument("usage: save <dir>"));
+  }
+  if (store_ == nullptr || store_->dir() != rest) {
+    // Release any current attachment before locking the target: flock
+    // treats two descriptors of one process as rivals, so a same-dir
+    // re-attach must go through the existing store (the branch above).
+    store_.reset();
+    auto attached = SessionStore::Attach(rest, options_.storage);
+    if (!attached.ok()) return Fail(attached.status());
+    store_ = std::move(*attached);
+  }
+  Status st = store_->Snapshot(RenderSnapshot());
+  if (!st.ok()) {
+    // A failed snapshot never damages the previous commit, but this
+    // session can no longer claim the directory reflects it — detach.
+    store_.reset();
+    return Fail(std::move(st));
+  }
+  return Say("saved: " + ProblemSummary());
+}
+
+CommandResult Session::CmdOpen(const std::string& rest) {
+  if (!options_.enable_persist) {
+    return Fail(Status::Unimplemented("save/open are disabled in this "
+                                      "session"));
+  }
+  if (rest.empty() || rest.find_first_of(" \t") != std::string::npos) {
+    return Fail(Status::InvalidArgument("usage: open <dir>"));
+  }
+  // Recover into locals first: a failed open must leave the session
+  // exactly as it was.
+  std::unique_ptr<SessionStore> incoming;
+  RecoveredState state;
+  if (store_ != nullptr && store_->dir() == rest) {
+    // Re-opening the attached directory re-reads disk through the held
+    // lock (no flock self-conflict, no fd churn).
+    auto recovered = store_->Recover();
+    if (!recovered.ok()) return Fail(recovered.status());
+    state = std::move(*recovered);
+  } else {
+    auto attached = SessionStore::Attach(rest, options_.storage);
+    if (!attached.ok()) return Fail(attached.status());
+    auto recovered = (*attached)->Recover();
+    if (!recovered.ok()) return Fail(recovered.status());
+    incoming = std::move(*attached);
+    state = std::move(*recovered);
+  }
+  // Stage the parsed problem against the recovered catalog before
+  // touching session state.
+  ViewSet views;
+  for (const std::string& rule_text : state.view_rules) {
+    auto rules = ParseProgram(rule_text, state.catalog.get());
+    if (!rules.ok() || rules->size() != 1) {
+      return Fail(Status::Internal("stored view rule does not parse: '" +
+                                   rule_text + "'"));
+    }
+    Status st = views.AddRule(std::move(rules->front()));
+    if (!st.ok()) return Fail(std::move(st));
+  }
+  std::optional<UnionQuery> query;
+  if (!state.query_rules.empty()) {
+    std::string joined;
+    for (const std::string& rule_text : state.query_rules) {
+      joined += rule_text + " ";
+    }
+    auto rules = ParseProgram(joined, state.catalog.get());
+    if (!rules.ok()) {
+      return Fail(Status::Internal("stored query does not parse: '" + joined +
+                                   "'"));
+    }
+    UnionQuery q;
+    q.disjuncts = std::move(*rules);
+    query = std::move(q);
+  }
+  // Commit: adopt the recovered problem (retiring the old catalog for
+  // the oracle contract) and replay the journal tail through the normal
+  // dispatcher with re-journaling suppressed.
+  if (incoming != nullptr) store_ = std::move(incoming);
+  retired_catalogs_.push_back(std::move(catalog_));
+  catalog_ = std::move(state.catalog);
+  views_ = std::move(views);
+  base_ = std::move(state.base);
+  query_ = std::move(query);
+  last_rewrite_ = RewriteStats{};
+  size_t replay_errors = 0;
+  replaying_journal_ = true;
+  for (const std::string& command : state.journal_commands) {
+    if (!Execute(command).ok()) ++replay_errors;
+  }
+  replaying_journal_ = false;
+  CommandResult result =
+      Say("opened: " + ProblemSummary() + " (journal: " +
+          CountNoun(state.journal_commands.size(), "command", "commands") +
+          ")");
+  if (replay_errors > 0) {
+    result.status = Status::Internal(
+        "journal replay had " + CountNoun(replay_errors, "error", "errors"));
+  }
+  return result;
 }
 
 }  // namespace aqv

@@ -31,6 +31,7 @@
 #include "rewriting/engine.h"
 #include "rewriting/planner.h"
 #include "service/service.h"
+#include "storage/store.h"
 #include "util/status.h"
 #include "views/view.h"
 
@@ -80,6 +81,14 @@ struct SessionOptions {
   bool enable_load = true;
   /// Nested `load` depth cap (a script loading itself must terminate).
   int max_load_depth = 8;
+  /// `save <dir>` / `open <dir>` persist the session through the storage
+  /// engine (storage/store.h). Unlike `load`, the TCP server keeps this
+  /// on — durable server-side sessions are the point — but an embedder
+  /// can turn it off.
+  bool enable_persist = true;
+  /// Storage-engine knobs (mmap extents, fsync discipline) applied to
+  /// every store this session attaches.
+  StoreOptions storage;
 };
 
 /// \brief One interactive answering-queries-using-views session: owned
@@ -105,6 +114,9 @@ class Session {
   const std::optional<UnionQuery>& query() const { return query_; }
   const SessionOptions& options() const { return options_; }
   uint64_t commands_executed() const { return commands_; }
+  /// The attached database store, or nullptr while detached. Attached by
+  /// `save`/`open`; released by `reset` (and by re-targeting save/open).
+  const SessionStore* store() const { return store_.get(); }
 
  private:
   class KindSnapshot;
@@ -119,6 +131,20 @@ class Session {
   CommandResult CmdAnswer(const std::string& rest);
   CommandResult CmdExplain();
   CommandResult CmdReset();
+  CommandResult CmdSave(const std::string& rest);
+  CommandResult CmdOpen(const std::string& rest);
+
+  /// Appends the successful mutation `line` to the attached store's
+  /// journal (autosave-on-mutation); a journal failure turns the result
+  /// into an error — the mutation applied in memory but is not durable.
+  CommandResult Journaled(const std::string& line, CommandResult result);
+
+  /// The session problem rendered for SessionStore::Snapshot.
+  SnapshotInput RenderSnapshot() const;
+
+  /// "N views, M facts, query set|unset" — the save/open summary. Counts
+  /// only, no paths or generations, so transcripts stay deterministic.
+  std::string ProblemSummary() const;
 
   /// "set a query first" / "add at least one view first" preconditions.
   Status Ready(bool needs_views) const;
@@ -145,6 +171,15 @@ class Session {
   RewriteStats last_rewrite_;
   uint64_t commands_ = 0;
   int load_depth_ = 0;
+  /// The attached database store (save/open). Owns the directory lock
+  /// and the journal descriptor; releasing it (reset, re-targeting)
+  /// closes both. Mmap-backed extents live in base_'s relations and
+  /// unmap when those are replaced.
+  std::unique_ptr<SessionStore> store_;
+  /// True while `open` replays the journal tail: replayed mutations must
+  /// not be re-journaled, and a replayed `reset` must not detach the
+  /// store being opened.
+  bool replaying_journal_ = false;
 };
 
 }  // namespace aqv

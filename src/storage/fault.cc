@@ -1,0 +1,112 @@
+#include "storage/fault.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace aqv {
+
+namespace {
+
+struct FaultState {
+  std::mutex mu;
+  bool armed = false;
+  bool crashed = false;
+  int64_t point_trigger = -1;
+  int64_t byte_trigger = -1;
+  uint64_t points = 0;
+  uint64_t bytes = 0;
+  std::string site;
+};
+
+FaultState& State() {
+  static FaultState* state = new FaultState();
+  return *state;
+}
+
+/// Fast-path guard: hooks exit immediately while disarmed, so production
+/// sessions never take the mutex.
+std::atomic<bool>& Enabled() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+}  // namespace
+
+void FaultArm(int64_t point_index, int64_t byte_index) {
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.armed = true;
+  s.crashed = false;
+  s.point_trigger = point_index;
+  s.byte_trigger = byte_index;
+  s.points = 0;
+  s.bytes = 0;
+  s.site.clear();
+  Enabled().store(true, std::memory_order_release);
+}
+
+FaultProbe FaultDisarm() {
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  FaultProbe probe{s.points, s.bytes};
+  s.armed = false;
+  s.crashed = false;
+  Enabled().store(false, std::memory_order_release);
+  return probe;
+}
+
+bool FaultCrashed() {
+  if (!Enabled().load(std::memory_order_acquire)) return false;
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.crashed;
+}
+
+std::string FaultCrashSite() {
+  if (!Enabled().load(std::memory_order_acquire)) return "";
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.site;
+}
+
+bool FaultPoint(const char* name) {
+  if (!Enabled().load(std::memory_order_acquire)) return false;
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.armed) return false;
+  if (s.crashed) return true;
+  if (s.point_trigger >= 0 &&
+      s.points == static_cast<uint64_t>(s.point_trigger)) {
+    s.crashed = true;
+    s.site = name;
+    ++s.points;
+    return true;
+  }
+  ++s.points;
+  return false;
+}
+
+size_t FaultBytes(size_t want) {
+  if (!Enabled().load(std::memory_order_acquire)) return want;
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.armed) return want;
+  if (s.crashed) return 0;
+  size_t allow = want;
+  if (s.byte_trigger >= 0) {
+    uint64_t trigger = static_cast<uint64_t>(s.byte_trigger);
+    if (s.bytes >= trigger) {
+      allow = 0;
+    } else if (s.bytes + want > trigger) {
+      allow = static_cast<size_t>(trigger - s.bytes);
+    }
+    if (allow < want) {
+      s.crashed = true;
+      s.site = "bytes";
+    }
+  }
+  s.bytes += want;
+  return allow;
+}
+
+}  // namespace aqv

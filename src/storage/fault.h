@@ -1,0 +1,64 @@
+/// \file
+/// Crash injection for the storage engine's durability tests. The fs.h
+/// writers thread every durable side effect through two hooks here: a
+/// *discrete fault point* before each fsync/rename/truncate (FaultPoint)
+/// and a *byte budget* inside each write loop (FaultBytes). Tests arm a
+/// crash at the Nth point or the Nth written byte; once it fires, the
+/// process's storage layer plays dead — every subsequent durable
+/// operation fails — modeling a `kill -9` at that exact position. A
+/// counting pass (arm with both triggers disabled) reports how many
+/// points and bytes a clean run traverses, so the recovery property test
+/// can sweep a crash through every position.
+///
+/// The injector is process-global and disarmed by default; disarmed-state
+/// overhead on the hooks is one relaxed atomic load. Production code
+/// never arms it.
+
+#ifndef AQV_STORAGE_FAULT_H_
+#define AQV_STORAGE_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace aqv {
+
+/// Counters observed between FaultArm and FaultDisarm: how many discrete
+/// fault points were traversed and how many payload bytes were offered to
+/// the write loops.
+struct FaultProbe {
+  uint64_t points = 0;
+  uint64_t bytes = 0;
+};
+
+/// Arms the injector: the crash fires at discrete fault point
+/// `point_index` (0-based) or once cumulative written bytes reach
+/// `byte_index`, whichever happens first; pass -1 to disable either
+/// trigger (both -1 = pure counting pass). Resets the counters.
+void FaultArm(int64_t point_index, int64_t byte_index);
+
+/// Disarms the injector and returns the counters accumulated since
+/// FaultArm. Storage I/O behaves normally again afterwards.
+FaultProbe FaultDisarm();
+
+/// True when the armed crash has fired (the storage layer is dead).
+bool FaultCrashed();
+
+/// The name of the fault point that fired (diagnostics; "bytes" for a
+/// byte-budget crash, "" when no crash fired).
+std::string FaultCrashSite();
+
+// --- hooks called by storage/fs.cc writers ---------------------------
+
+/// Discrete fault point `name`. Returns true when the write path must
+/// fail here (the crash just fired, or fired earlier).
+bool FaultPoint(const char* name);
+
+/// Byte-budget gate: a writer about to emit `want` bytes asks how many it
+/// may write. Returns `want` when disarmed; a short return means the
+/// crash fires mid-write after that many bytes.
+size_t FaultBytes(size_t want);
+
+}  // namespace aqv
+
+#endif  // AQV_STORAGE_FAULT_H_

@@ -1,0 +1,261 @@
+#include "storage/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "storage/fault.h"
+
+namespace aqv {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path +
+                          "' failed: " + std::strerror(errno));
+}
+
+Status InjectedCrash(const std::string& site) {
+  return Status::Internal("injected crash at " + site);
+}
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Write loop with the byte-budget crash gate: a short FaultBytes return
+/// writes that prefix and then fails, modeling a process killed mid-write.
+Status WriteAllFaulted(int fd, const std::string& path,
+                       const std::string& data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    size_t want = data.size() - done;
+    size_t allow = FaultBytes(want);
+    size_t written = 0;
+    while (written < allow) {
+      ssize_t n =
+          ::write(fd, data.data() + done + written, allow - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path);
+      }
+      written += static_cast<size_t>(n);
+    }
+    done += allow;
+    if (allow < want) return InjectedCrash("write:" + Basename(path));
+  }
+  return Status::OK();
+}
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256>* table = [] {
+    auto* t = new std::array<uint32_t, 256>();
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      (*t)[i] = c;
+    }
+    return t;
+  }();
+  return *table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  const auto& table = Crc32Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::InvalidArgument("'" + path + "' is not a directory");
+    }
+    return Status::OK();
+  }
+  return Errno("mkdir", path);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return Errno("opendir", path);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: '" + path + "'");
+    }
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+  return Errno("unlink", path);
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Errno("truncate", path);
+  }
+  return Status::OK();
+}
+
+Status WriteFileDurable(const std::string& path, const std::string& data,
+                        bool sync) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Errno("open", path);
+  Status st = WriteAllFaulted(fd, path, data);
+  if (st.ok() && sync) {
+    if (FaultPoint("fsync")) {
+      st = InjectedCrash("fsync:" + Basename(path));
+    } else if (::fsync(fd) != 0) {
+      st = Errno("fsync", path);
+    }
+  }
+  ::close(fd);
+  return st;
+}
+
+Status ReplaceFileAtomic(const std::string& path, const std::string& data,
+                         bool sync) {
+  std::string tmp = path + ".tmp";
+  AQV_RETURN_NOT_OK(WriteFileDurable(tmp, data, sync));
+  if (FaultPoint("rename")) {
+    return InjectedCrash("rename:" + Basename(path));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return Errno("rename", path);
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  return FsyncDir(dir, sync);
+}
+
+Status FsyncDir(const std::string& dir, bool sync) {
+  if (!sync) return Status::OK();
+  if (FaultPoint("fsyncdir")) return InjectedCrash("fsyncdir:" + dir);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open dir", dir);
+  int rc = ::fsync(fd);
+  Status st = rc == 0 ? Status::OK() : Errno("fsync dir", dir);
+  ::close(fd);
+  return st;
+}
+
+DirLock& DirLock::operator=(DirLock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void DirLock::Release() {
+  if (fd_ >= 0) {
+    ::close(fd_);  // closing drops the flock
+    fd_ = -1;
+  }
+}
+
+Result<DirLock> DirLock::Acquire(const std::string& dir) {
+  std::string path = dir + "/LOCK";
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", path);
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return Status::ResourceExhausted(
+        "database directory is locked by another session");
+  }
+  return DirLock(fd);
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void AppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<AppendFile> AppendFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Errno("open", path);
+  return AppendFile(fd);
+}
+
+Status AppendFile::Append(const std::string& data, bool sync) {
+  if (fd_ < 0) return Status::Internal("append to a closed file");
+  AQV_RETURN_NOT_OK(WriteAllFaulted(fd_, "journal", data));
+  if (sync) {
+    if (FaultPoint("fsync")) return InjectedCrash("fsync:journal");
+    if (::fdatasync(fd_) != 0) return Errno("fdatasync", "journal");
+  }
+  return Status::OK();
+}
+
+}  // namespace aqv

@@ -1,0 +1,122 @@
+/// \file
+/// Filesystem primitives of the storage engine, with every durable side
+/// effect routed through the crash injector (storage/fault.h):
+///
+///   - WriteFileDurable  whole-file create+write+fsync (segment files,
+///                       fresh journals);
+///   - ReplaceFileAtomic the commit primitive — write `<path>.tmp`
+///                       durably, rename over `<path>`, fsync the
+///                       directory. A crash at any point leaves either
+///                       the old file or the new one, never a torn mix
+///                       (ursadb's DatabaseSnapshot discipline);
+///   - AppendFile        a kept-open O_APPEND descriptor for the journal;
+///   - DirLock           flock(LOCK_EX) on `<dir>/LOCK` — one attached
+///                       session per database directory (ursadb's
+///                       DatabaseLock);
+///   - Crc32 and small helpers (EnsureDir, ListDir, ReadFile, ...).
+///
+/// All functions are synchronous and return Status; an injected crash
+/// surfaces as kInternal with an "injected crash" message and leaves the
+/// storage layer dead until the test disarms it.
+
+#ifndef AQV_STORAGE_FS_H_
+#define AQV_STORAGE_FS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aqv {
+
+/// CRC-32 (IEEE, the zlib polynomial) of `n` bytes, seedable for
+/// incremental use.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// Creates `path` as a directory if it does not exist (one level; the
+/// parent must exist). Existing directories are fine.
+Status EnsureDir(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+/// Regular-file size in bytes.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// Entry names in `path` (no "." / ".."), sorted.
+Result<std::vector<std::string>> ListDir(const std::string& path);
+
+/// Whole-file read.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Unlinks `path`; missing files are OK (idempotent GC).
+Status RemoveFile(const std::string& path);
+
+/// Truncates `path` to `size` bytes (journal torn-tail repair).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Creates/overwrites `path` with `data` and, when `sync`, fsyncs it
+/// before closing. Crash-injectable: the write can tear at any byte, and
+/// the fsync can be the crash site.
+Status WriteFileDurable(const std::string& path, const std::string& data,
+                        bool sync);
+
+/// The atomic commit primitive: writes `<path>.tmp` via WriteFileDurable,
+/// renames it over `path`, and (when `sync`) fsyncs the containing
+/// directory so the rename itself is durable.
+Status ReplaceFileAtomic(const std::string& path, const std::string& data,
+                         bool sync);
+
+/// fsyncs directory `dir` (making renames/creates within it durable).
+Status FsyncDir(const std::string& dir, bool sync);
+
+/// \brief An exclusive advisory lock on `<dir>/LOCK`: held for the
+/// lifetime of the object, released (and the fd closed) on destruction.
+/// flock semantics — a second open of the same lock file conflicts even
+/// within one process, so each attached store really is exclusive.
+class DirLock {
+ public:
+  /// kResourceExhausted when another session holds the lock.
+  static Result<DirLock> Acquire(const std::string& dir);
+
+  DirLock(DirLock&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  DirLock& operator=(DirLock&& other) noexcept;
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+  ~DirLock() { Release(); }
+
+  void Release();
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  explicit DirLock(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+/// \brief A kept-open append-mode descriptor (the journal). Append is
+/// crash-injectable byte by byte; when `sync`, each append is followed by
+/// fdatasync so an acknowledged mutation survives a crash.
+class AppendFile {
+ public:
+  /// Opens (creating if needed) `path` for appending.
+  static Result<AppendFile> Open(const std::string& path);
+
+  AppendFile(AppendFile&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile() { Close(); }
+
+  Status Append(const std::string& data, bool sync);
+  void Close();
+  bool open() const { return fd_ >= 0; }
+
+ private:
+  explicit AppendFile(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_STORAGE_FS_H_

@@ -1,0 +1,219 @@
+#include "storage/manifest.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "storage/fs.h"
+
+namespace aqv {
+
+namespace {
+
+constexpr char kHeaderLine[] = "aqv-manifest v1";
+
+std::string CrcHex(uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool ParseHex32(std::string_view text, uint32_t* out) {
+  if (text.empty() || text.size() > 8) return false;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out, 16);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+/// Splits "key rest" at the first space; key-only lines get empty rest.
+void SplitKey(std::string_view line, std::string_view* key,
+              std::string_view* rest) {
+  size_t space = line.find(' ');
+  if (space == std::string_view::npos) {
+    *key = line;
+    *rest = {};
+  } else {
+    *key = line.substr(0, space);
+    *rest = line.substr(space + 1);
+  }
+}
+
+std::string_view NextWord(std::string_view* rest) {
+  size_t space = rest->find(' ');
+  std::string_view word;
+  if (space == std::string_view::npos) {
+    word = *rest;
+    *rest = {};
+  } else {
+    word = rest->substr(0, space);
+    *rest = rest->substr(space + 1);
+  }
+  return word;
+}
+
+Status Bad(const std::string& what, std::string_view line) {
+  return Status::ParseError("manifest: " + what + ": '" + std::string(line) +
+                            "'");
+}
+
+}  // namespace
+
+std::string EncodeManifest(const Manifest& manifest) {
+  std::string out = std::string(kHeaderLine) + "\n";
+  out += "generation " + std::to_string(manifest.generation) + "\n";
+  out += "journal " + manifest.journal_file + "\n";
+  for (const std::string& text : manifest.constants) {
+    out += "const " + text + "\n";
+  }
+  for (const Manifest::Pred& p : manifest.preds) {
+    out += "pred " + p.name + " " + std::to_string(p.arity) +
+           (p.intensional ? " i\n" : " e\n");
+  }
+  for (const std::string& rule : manifest.view_rules) {
+    out += "view " + rule + "\n";
+  }
+  for (const std::string& rule : manifest.query_rules) {
+    out += "query " + rule + "\n";
+  }
+  for (const ManifestRelation& rel : manifest.relations) {
+    out += "rel " + rel.pred + " " + std::to_string(rel.rows) + " " +
+           CrcHex(rel.crc) + " " + rel.file + "\n";
+  }
+  out += "end " + CrcHex(Crc32(out.data(), out.size())) + "\n";
+  return out;
+}
+
+Result<Manifest> ParseManifest(const std::string& text) {
+  Manifest manifest;
+  bool saw_header = false;
+  bool saw_generation = false;
+  bool saw_journal = false;
+  bool saw_end = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      return Status::ParseError("manifest: unterminated final line");
+    }
+    std::string_view line(text.data() + pos, nl - pos);
+    if (!saw_header) {
+      if (line != kHeaderLine) return Bad("bad header", line);
+      saw_header = true;
+      pos = nl + 1;
+      continue;
+    }
+    std::string_view key;
+    std::string_view rest;
+    SplitKey(line, &key, &rest);
+    if (key == "end") {
+      uint32_t recorded = 0;
+      if (!ParseHex32(rest, &recorded)) return Bad("bad end checksum", line);
+      uint32_t actual = Crc32(text.data(), pos);
+      if (recorded != actual) {
+        return Status::ParseError("manifest: content checksum mismatch");
+      }
+      saw_end = true;
+      pos = nl + 1;
+      break;
+    }
+    if (key == "generation") {
+      if (!ParseU64(rest, &manifest.generation)) {
+        return Bad("bad generation", line);
+      }
+      saw_generation = true;
+    } else if (key == "journal") {
+      if (rest.empty()) return Bad("empty journal file", line);
+      manifest.journal_file = std::string(rest);
+      saw_journal = true;
+    } else if (key == "const") {
+      if (rest.empty()) return Bad("empty constant", line);
+      manifest.constants.emplace_back(rest);
+    } else if (key == "pred") {
+      Manifest::Pred p;
+      p.name = std::string(NextWord(&rest));
+      uint64_t arity = 0;
+      if (p.name.empty() || !ParseU64(NextWord(&rest), &arity)) {
+        return Bad("bad pred entry", line);
+      }
+      std::string_view kind = NextWord(&rest);
+      if ((kind != "e" && kind != "i") || !rest.empty()) {
+        return Bad("bad pred kind", line);
+      }
+      p.arity = static_cast<int>(arity);
+      p.intensional = kind == "i";
+      manifest.preds.push_back(std::move(p));
+    } else if (key == "view") {
+      if (rest.empty()) return Bad("empty view rule", line);
+      manifest.view_rules.emplace_back(rest);
+    } else if (key == "query") {
+      if (rest.empty()) return Bad("empty query rule", line);
+      manifest.query_rules.emplace_back(rest);
+    } else if (key == "rel") {
+      ManifestRelation rel;
+      rel.pred = std::string(NextWord(&rest));
+      bool ok = !rel.pred.empty();
+      ok = ok && ParseU64(NextWord(&rest), &rel.rows);
+      ok = ok && ParseHex32(NextWord(&rest), &rel.crc);
+      rel.file = std::string(rest);
+      ok = ok && !rel.file.empty() &&
+           rel.file.find('/') == std::string::npos;
+      if (!ok) return Bad("bad rel entry", line);
+      manifest.relations.push_back(std::move(rel));
+    } else {
+      return Bad("unknown key", line);
+    }
+    pos = nl + 1;
+  }
+  if (!saw_header) return Status::ParseError("manifest: empty file");
+  if (!saw_end) return Status::ParseError("manifest: missing end line");
+  if (pos != text.size()) {
+    return Status::ParseError("manifest: trailing bytes after end line");
+  }
+  if (!saw_generation || !saw_journal) {
+    return Status::ParseError("manifest: missing generation or journal line");
+  }
+  return manifest;
+}
+
+std::string EncodeJournalRecord(const std::string& command) {
+  return "r " + std::to_string(command.size()) + " " +
+         CrcHex(Crc32(command.data(), command.size())) + " " + command + "\n";
+}
+
+JournalReplay ParseJournal(const std::string& text) {
+  JournalReplay replay;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    // "r <len> <crc> <payload>\n" — reject on any deviation; a torn tail
+    // is expected after a crash, so this is a stop condition, not an
+    // error.
+    if (text.compare(pos, 2, "r ") != 0) break;
+    pos += 2;
+    size_t space = text.find(' ', pos);
+    if (space == std::string::npos) break;
+    uint64_t len = 0;
+    if (!ParseU64({text.data() + pos, space - pos}, &len)) break;
+    pos = space + 1;
+    space = text.find(' ', pos);
+    if (space == std::string::npos) break;
+    uint32_t crc = 0;
+    if (!ParseHex32({text.data() + pos, space - pos}, &crc)) break;
+    pos = space + 1;
+    if (pos + len + 1 > text.size()) break;
+    if (text[pos + len] != '\n') break;
+    if (Crc32(text.data() + pos, static_cast<size_t>(len)) != crc) break;
+    replay.commands.emplace_back(text.substr(pos, len));
+    pos += len + 1;
+    replay.valid_bytes = pos;
+  }
+  return replay;
+}
+
+}  // namespace aqv

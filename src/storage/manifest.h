@@ -1,0 +1,95 @@
+/// \file
+/// The two text formats of the storage engine.
+///
+/// **Manifest** — the committed snapshot descriptor, swapped into place
+/// atomically (storage/fs.h ReplaceFileAtomic), so it is either the old
+/// or the new snapshot in full:
+///
+///   aqv-manifest v1
+///   generation <n>
+///   journal <file>
+///   const <text>            one per constant, in ConstId intern order
+///   pred <name> <arity> e|i one per predicate, in PredId order
+///   view <rule>             parseable rule text, ViewSet order
+///   query <rule>            one per union-query disjunct
+///   rel <pred> <rows> <crc32hex> <file>
+///   end <crc32hex>          CRC-32 of every preceding byte
+///
+/// The constant table is load-bearing, not cosmetic: segment files store
+/// raw tagged Values (kSymbolicBase + ConstId), so recovery must re-intern
+/// constants in exactly the recorded order for persisted extents to
+/// decode. Same for predicates and PredId. The trailing `end` line is
+/// defense in depth on top of the atomic swap — a hand-edited or
+/// foreign-copied manifest fails closed.
+///
+/// **Journal** — the append-only mutation log replayed on top of the
+/// manifest snapshot: one length-prefixed, checksummed record per
+/// acknowledged session mutation:
+///
+///   r <payload-bytes> <crc32hex> <payload>\n
+///
+/// Replay parses records until the first torn or corrupt one and ignores
+/// everything after it (a crash mid-append tears at most the final
+/// record; recovery truncates the tail and continues appending).
+
+#ifndef AQV_STORAGE_MANIFEST_H_
+#define AQV_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aqv {
+
+/// One persisted relation entry.
+struct ManifestRelation {
+  std::string pred;
+  uint64_t rows = 0;
+  uint32_t crc = 0;
+  std::string file;
+};
+
+/// Parsed manifest contents.
+struct Manifest {
+  uint64_t generation = 0;
+  std::string journal_file;
+  /// Constant source texts, in ConstId intern order.
+  std::vector<std::string> constants;
+  struct Pred {
+    std::string name;
+    int arity = 0;
+    bool intensional = false;
+  };
+  /// Predicates, in PredId order.
+  std::vector<Pred> preds;
+  /// View definitions as parseable rule text, in ViewSet order.
+  std::vector<std::string> view_rules;
+  /// The current query's disjuncts as rule text; empty = no query set.
+  std::vector<std::string> query_rules;
+  std::vector<ManifestRelation> relations;
+};
+
+std::string EncodeManifest(const Manifest& manifest);
+
+/// kParseError on any structural violation, bad field, or `end` checksum
+/// mismatch.
+Result<Manifest> ParseManifest(const std::string& text);
+
+/// Frames one journaled mutation command.
+std::string EncodeJournalRecord(const std::string& command);
+
+/// Journal replay: the commands of every intact record in order, plus the
+/// byte length of the intact prefix (< text.size() when the tail is torn
+/// and must be truncated before further appends).
+struct JournalReplay {
+  std::vector<std::string> commands;
+  uint64_t valid_bytes = 0;
+};
+
+JournalReplay ParseJournal(const std::string& text);
+
+}  // namespace aqv
+
+#endif  // AQV_STORAGE_MANIFEST_H_

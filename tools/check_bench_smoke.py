@@ -8,6 +8,14 @@ caches, so a warm run that builds anything — or hits nothing — means
 the cache is broken or disabled), and every Indexed:0 baseline must
 report zero `index_hits`.
 
+When the report includes the F12 storage suite, also asserts the
+persisted-extents claims: every Mmap:1 persisted-answer benchmark must
+produce answers through warm cached indexes (index_hits > 0,
+index_builds == 0) and hold its post-answer resident growth below the
+on-disk database size (`rss_answer_mb < file_mb` — the point of the
+mmap backend), while the Mmap:0 eager baseline must still answer
+identically (same `answers` counter as its mmap twin).
+
 Usage: tools/check_bench_smoke.py BENCH.json
 """
 
@@ -20,16 +28,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} BENCH.json")
-    with open(sys.argv[1]) as f:
-        merged = json.load(f)
-
-    suite = merged.get("suites", {}).get("bench_f5_eval_speedup")
-    if suite is None:
-        fail("no bench_f5_eval_speedup suite in the report")
-
+def check_f5(suite):
     checked = 0
     for bench in suite.get("benchmarks", []):
         name = bench.get("name", "")
@@ -51,7 +50,65 @@ def main():
 
     if checked == 0:
         fail("no Indexed:* benchmarks found in bench_f5_eval_speedup")
-    print(f"check_bench_smoke: OK ({checked} F5 benchmarks checked)")
+    return checked
+
+
+def check_f12(suite):
+    checked = 0
+    answers = {}  # (size) -> {mmap_flag: answers} for cross-backend equality
+    for bench in suite.get("benchmarks", []):
+        name = bench.get("name", "")
+        if "BM_F12_SelectiveAnswerPersisted" not in name or "Mmap:" not in name:
+            continue
+        mmap = "Mmap:1" in name
+        for counter in ("answers", "index_hits", "index_builds", "file_mb",
+                        "rss_answer_mb"):
+            if bench.get(counter) is None:
+                fail(f"{name}: missing {counter} counter")
+        if bench["answers"] <= 0:
+            fail(f"{name}: persisted answer produced no rows")
+        if bench["index_hits"] <= 0:
+            fail(f"{name}: warm persisted run reported "
+                 f"index_hits={bench['index_hits']}")
+        if bench["index_builds"] != 0:
+            fail(f"{name}: warm persisted run reported "
+                 f"index_builds={bench['index_builds']}")
+        if mmap and bench["rss_answer_mb"] >= bench["file_mb"]:
+            fail(f"{name}: mmap backend resident growth "
+                 f"({bench['rss_answer_mb']:.1f} MiB) is not below the "
+                 f"database size ({bench['file_mb']:.1f} MiB)")
+        size_key = name.split("size:")[-1].split("/")[0]
+        answers.setdefault(size_key, {})[mmap] = bench["answers"]
+        checked += 1
+
+    if checked == 0:
+        fail("no SelectiveAnswerPersisted benchmarks in bench_f12_storage")
+    for size, by_backend in answers.items():
+        if len(by_backend) == 2 and by_backend[True] != by_backend[False]:
+            fail(f"F12 size {size}: mmap and columnar backends disagree "
+                 f"({by_backend[True]} vs {by_backend[False]} answers)")
+    return checked
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH.json")
+    with open(sys.argv[1]) as f:
+        merged = json.load(f)
+    suites = merged.get("suites", {})
+
+    f5 = suites.get("bench_f5_eval_speedup")
+    if f5 is None:
+        fail("no bench_f5_eval_speedup suite in the report")
+    checked = check_f5(f5)
+
+    f12_checked = 0
+    f12 = suites.get("bench_f12_storage")
+    if f12 is not None:
+        f12_checked = check_f12(f12)
+
+    print(f"check_bench_smoke: OK ({checked} F5 benchmarks, "
+          f"{f12_checked} F12 benchmarks checked)")
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@
 #include "frontend/replay.h"
 #include "frontend/server.h"
 #include "rewriting/engine.h"
+#include "storage/fs.h"
 #include "util/rng.h"
 #include "workload/generator.h"
 
@@ -54,6 +55,7 @@ struct SoakConfig {
   int churn_max = 2;
   int inject_fault_at = -1;  // tamper the Nth answer of the first scenario
   std::string repro_dir = ".";
+  std::string persist_dir;  // empty = in-memory sessions only
 };
 
 void Usage(const char* argv0) {
@@ -70,7 +72,9 @@ void Usage(const char* argv0) {
       "  --churn-max N        max view-churn cycles per script (default 2)\n"
       "  --inject-fault-at N  self-test: tamper the Nth answer response of\n"
       "                       the first scenario; expect exit 1 + a repro\n"
-      "  --repro-dir DIR      where divergence repros are written (.)\n",
+      "  --repro-dir DIR      where divergence repros are written (.)\n"
+      "  --persist DIR        persistence churn: every script saves/opens a\n"
+      "                       database under DIR/sN (recovery probes)\n",
       argv0);
 }
 
@@ -95,6 +99,7 @@ bool ParseFlags(int argc, char** argv, SoakConfig* cfg) {
     else if (arg == "--churn-max") cfg->churn_max = std::atoi(v);
     else if (arg == "--inject-fault-at") cfg->inject_fault_at = std::atoi(v);
     else if (arg == "--repro-dir") cfg->repro_dir = v;
+    else if (arg == "--persist") cfg->persist_dir = v;
     else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -149,6 +154,12 @@ ScenarioPlan PlanScenario(const SoakConfig& cfg, int index) {
   plan.script.churn_cycles =
       cfg.churn_max > 0 ? static_cast<int>(rng.NextInRange(0, cfg.churn_max))
                         : 0;
+  if (!cfg.persist_dir.empty()) {
+    // One database directory per scenario: concurrent clients never
+    // contend on a flock, and each script's save/open churn is isolated.
+    plan.script.persist_dir =
+        cfg.persist_dir + "/s" + std::to_string(index);
+  }
   return plan;
 }
 
@@ -184,6 +195,15 @@ void WriteRepro(const SoakConfig& cfg, const FaultRecord& fault,
 }
 
 int Run(const SoakConfig& cfg) {
+  if (!cfg.persist_dir.empty()) {
+    // Scenario scripts create DIR/sN themselves; DIR must exist first
+    // (EnsureDir is one level deep).
+    Status dir = EnsureDir(cfg.persist_dir);
+    if (!dir.ok()) {
+      std::fprintf(stderr, "persist dir: %s\n", dir.ToString().c_str());
+      return 2;
+    }
+  }
   FrontendServer server;  // default options: ephemeral port, 64 conns
   Status started = server.Start();
   if (!started.ok()) {

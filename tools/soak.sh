@@ -8,15 +8,32 @@
 #      which MUST exit 1 and write a repro: a soak harness that cannot
 #      catch a deliberately flipped answer proves nothing.
 #
+# With --persist <dir>, act 1 additionally runs every scenario with
+# save/open churn through per-scenario database directories under <dir>
+# — each post-`open` probe interrogates state recovered from disk.
+#
 # CI's soak-smoke job runs this under ASan with SOAK_DURATION_S=60.
 # Knobs (env): SOAK_SEED, SOAK_CLIENTS, SOAK_SCENARIOS,
 # SOAK_MIN_COMMANDS, SOAK_DURATION_S. See docs/OPERATIONS.md.
 #
-# Usage: tools/soak.sh [BUILD_DIR]
+# Usage: tools/soak.sh [BUILD_DIR] [--persist <dir>]
 
 set -euo pipefail
 
-BUILD_DIR=${1:-build}
+BUILD_DIR=build
+PERSIST_DIR=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --persist)
+      PERSIST_DIR=${2:?--persist needs a directory}
+      shift 2
+      ;;
+    *)
+      BUILD_DIR=$1
+      shift
+      ;;
+  esac
+done
 SOAK="$BUILD_DIR/tools/aqv_soak"
 if [[ ! -x "$SOAK" ]]; then
   echo "error: $SOAK not found; configure with -DAQV_BUILD_TOOLS=ON" >&2
@@ -37,9 +54,15 @@ cleanup() {
 }
 trap cleanup EXIT
 
+persist_flags=()
+if [[ -n "$PERSIST_DIR" ]]; then
+  mkdir -p "$PERSIST_DIR"
+  persist_flags=(--persist "$PERSIST_DIR")
+fi
+
 echo "=== clean soak (seed=$SOAK_SEED clients=$SOAK_CLIENTS" \
   "scenarios=$SOAK_SCENARIOS min-commands=$SOAK_MIN_COMMANDS" \
-  "duration-s=$SOAK_DURATION_S) ==="
+  "duration-s=$SOAK_DURATION_S persist=${PERSIST_DIR:-off}) ==="
 "$SOAK" \
   --seed "$SOAK_SEED" \
   --clients "$SOAK_CLIENTS" \
@@ -48,6 +71,7 @@ echo "=== clean soak (seed=$SOAK_SEED clients=$SOAK_CLIENTS" \
   --duration-s "$SOAK_DURATION_S" \
   --views-min 15 --views-max 40 \
   --preds-min 8 --preds-max 16 \
+  "${persist_flags[@]}" \
   --repro-dir "$workdir"
 
 echo "=== fault-injection self-test (expect divergence + repro) ==="
