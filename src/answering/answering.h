@@ -71,7 +71,7 @@ const std::vector<std::string>& AnswerRouteNames();
 std::string_view AnswerRouteName(AnswerRoute route);
 
 /// The route registered under `name` (kNotFound otherwise).
-Result<AnswerRoute> AnswerRouteByName(std::string_view name);
+[[nodiscard]] Result<AnswerRoute> AnswerRouteByName(std::string_view name);
 
 /// \brief One answering problem: which query over which views and data,
 /// answered how. Pointees (views, databases, and the Catalog behind them)
@@ -137,7 +137,7 @@ struct AnswerResponse {
 /// \brief Runs the full answering pipeline for one request. See the \file
 /// comment; errors follow the usual codes (kInvalidArgument for
 /// missing/mismatched inputs, engine and evaluator errors propagate).
-Result<AnswerResponse> AnswerQuery(const AnswerRequest& request);
+[[nodiscard]] Result<AnswerResponse> AnswerQuery(const AnswerRequest& request);
 
 }  // namespace aqv
 

@@ -28,11 +28,11 @@ struct ContainmentOptions;
 /// are sound for the integer-valued evaluation engine (a ⊑ over ℚ implies ⊑
 /// over ℤ instances) but may report non-containment for pairs that are
 /// contained only because of integer gaps (e.g. X < Y, Y < X+1).
-Result<bool> ComparisonAwareIsContainedIn(const Query& sub, const Query& super,
+[[nodiscard]] Result<bool> ComparisonAwareIsContainedIn(const Query& sub, const Query& super,
                                           const ContainmentOptions& options);
 
 /// Union variant: checks each linearization of `sub` against all disjuncts.
-Result<bool> ComparisonAwareIsContainedInUnion(const Query& sub,
+[[nodiscard]] Result<bool> ComparisonAwareIsContainedInUnion(const Query& sub,
                                                const UnionQuery& super,
                                                const ContainmentOptions& options);
 
@@ -67,7 +67,7 @@ struct Linearization {
 /// consistent with q's comparisons. Variables outside `vars_to_rank` must
 /// not appear in q's comparisons. Stops past `cap` completed linearizations
 /// with kResourceExhausted.
-Result<std::vector<Linearization>> EnumerateLinearizations(
+[[nodiscard]] Result<std::vector<Linearization>> EnumerateLinearizations(
     const Query& q, const std::vector<VarId>& vars_to_rank,
     const std::vector<int64_t>& spine_values, uint64_t cap);
 

@@ -43,26 +43,26 @@ struct ContainmentOptions {
 /// into `sub`. If either query carries comparisons, delegates to the
 /// complete linearization test (dense-order semantics; see
 /// comparison_containment.h).
-Result<bool> IsContainedIn(const Query& sub, const Query& super,
+[[nodiscard]] Result<bool> IsContainedIn(const Query& sub, const Query& super,
                            const ContainmentOptions& options = {});
 
 /// Decides `sub ≡ super` (mutual containment).
-Result<bool> AreEquivalent(const Query& a, const Query& b,
+[[nodiscard]] Result<bool> AreEquivalent(const Query& a, const Query& b,
                            const ContainmentOptions& options = {});
 
 /// CQ ⊑ UCQ. For comparison-free queries this holds iff `sub` is contained
 /// in some single disjunct (Sagiv-Yannakakis); with comparisons the test
 /// falls back to the linearization machinery, which checks each
 /// linearization against the whole union.
-Result<bool> IsContainedInUnion(const Query& sub, const UnionQuery& super,
+[[nodiscard]] Result<bool> IsContainedInUnion(const Query& sub, const UnionQuery& super,
                                 const ContainmentOptions& options = {});
 
 /// UCQ ⊑ CQ: every disjunct must be contained.
-Result<bool> UnionIsContainedIn(const UnionQuery& sub, const Query& super,
+[[nodiscard]] Result<bool> UnionIsContainedIn(const UnionQuery& sub, const Query& super,
                                 const ContainmentOptions& options = {});
 
 /// UCQ ⊑ UCQ: every disjunct of `sub` contained in the union `super`.
-Result<bool> UnionIsContainedInUnion(const UnionQuery& sub,
+[[nodiscard]] Result<bool> UnionIsContainedInUnion(const UnionQuery& sub,
                                      const UnionQuery& super,
                                      const ContainmentOptions& options = {});
 

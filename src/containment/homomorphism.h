@@ -36,14 +36,14 @@ struct HomSearchOptions {
 /// If found and `out` is non-null, *out receives the mapping (sized
 /// from.num_vars()). Comparisons are ignored here; comparison-aware
 /// containment lives in comparison_containment.h.
-Result<bool> FindHomomorphism(const Query& from, const Query& to,
+[[nodiscard]] Result<bool> FindHomomorphism(const Query& from, const Query& to,
                               const HomSearchOptions& options = {},
                               Substitution* out = nullptr);
 
 /// Invokes `cb` for every containment mapping from `from` into `to` (in an
 /// unspecified but deterministic order). `cb` returns true to continue
 /// enumerating, false to stop early. Returns the number of mappings visited.
-Result<int64_t> ForEachHomomorphism(
+[[nodiscard]] Result<int64_t> ForEachHomomorphism(
     const Query& from, const Query& to, const HomSearchOptions& options,
     const std::function<bool(const Substitution&)>& cb);
 

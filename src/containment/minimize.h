@@ -19,7 +19,7 @@ namespace aqv {
 /// For comparison-carrying queries the equivalence checks run through the
 /// comparison-aware machinery; comparisons themselves are preserved
 /// verbatim (the core is computed on the relational part).
-Result<Query> Minimize(const Query& q, const ContainmentOptions& options = {});
+[[nodiscard]] Result<Query> Minimize(const Query& q, const ContainmentOptions& options = {});
 
 /// Rebuilds `q` keeping only variables that occur in its head, body, or
 /// comparisons, renumbered in order of first occurrence.
@@ -27,13 +27,13 @@ Query CompactVariables(const Query& q);
 
 /// Returns true iff `q` equals its own core (no removable atom). Exposed for
 /// tests and the LMSS search, which requires minimized inputs.
-Result<bool> IsMinimal(const Query& q, const ContainmentOptions& options = {});
+[[nodiscard]] Result<bool> IsMinimal(const Query& q, const ContainmentOptions& options = {});
 
 /// \brief Minimizes a union of CQs: each disjunct is replaced by its core,
 /// then disjuncts contained in another disjunct are dropped (keeping the
 /// first representative of mutually-equivalent groups). The result is the
 /// canonical minimal form of the union (Sagiv-Yannakakis).
-Result<UnionQuery> MinimizeUnion(const UnionQuery& u,
+[[nodiscard]] Result<UnionQuery> MinimizeUnion(const UnionQuery& u,
                                  const ContainmentOptions& options = {});
 
 }  // namespace aqv

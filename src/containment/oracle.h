@@ -100,7 +100,7 @@ class ContainmentOracle {
   /// union variants need no oracle entry points: the free functions route
   /// through here whenever ContainmentOptions::oracle is set. Safe to call
   /// from any number of threads concurrently.
-  Result<bool> IsContainedIn(const Query& sub, const Query& super,
+  [[nodiscard]] Result<bool> IsContainedIn(const Query& sub, const Query& super,
                              const ContainmentOptions& options);
 
   /// Aggregated snapshot of the per-shard atomic counters. Exact when no

@@ -45,11 +45,11 @@ class Catalog {
  public:
   /// Registers `name` with `arity`, or returns the existing id.
   /// Fails with kInvalidArgument if `name` exists with a different arity.
-  Result<PredId> GetOrAddPredicate(std::string_view name, int arity,
+  [[nodiscard]] Result<PredId> GetOrAddPredicate(std::string_view name, int arity,
                                    PredKind kind = PredKind::kExtensional);
 
   /// Returns the id of `name`, or kNotFound.
-  Result<PredId> FindPredicate(std::string_view name) const;
+  [[nodiscard]] Result<PredId> FindPredicate(std::string_view name) const;
 
   /// Marks an existing predicate intensional (used when a parsed rule head
   /// re-uses a previously body-only symbol).

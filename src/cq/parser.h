@@ -27,10 +27,10 @@ namespace aqv {
 /// The complete surface-syntax reference — grammar, lexing rules, the
 /// operand-swap normalization, and the error catalogue — lives in
 /// docs/QUERY_LANGUAGE.md.
-Result<Query> ParseQuery(std::string_view text, Catalog* catalog);
+[[nodiscard]] Result<Query> ParseQuery(std::string_view text, Catalog* catalog);
 
 /// Parses a newline/period-separated sequence of rules.
-Result<std::vector<Query>> ParseProgram(std::string_view text,
+[[nodiscard]] Result<std::vector<Query>> ParseProgram(std::string_view text,
                                         Catalog* catalog);
 
 /// \brief Parses one ground fact:
@@ -42,7 +42,7 @@ Result<std::vector<Query>> ParseProgram(std::string_view text,
 /// tuples. The predicate is registered extensional with the fact's arity;
 /// adding facts to an intensional predicate (a query or view head) is
 /// kInvalidArgument — views have extents, not facts.
-Result<Atom> ParseFact(std::string_view text, Catalog* catalog);
+[[nodiscard]] Result<Atom> ParseFact(std::string_view text, Catalog* catalog);
 
 }  // namespace aqv
 

@@ -80,7 +80,7 @@ class Query {
   /// Safety check: every head variable and every comparison variable must
   /// occur in a relational body atom; all atom arities must match the
   /// catalog; comparison constants must be numeric.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   // --- rendering -----------------------------------------------------------
 

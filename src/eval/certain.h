@@ -22,7 +22,7 @@ namespace aqv {
 /// rewriting, hence no derivable certain answers — evaluates to a
 /// correctly-typed empty relation instead of an error. Non-empty unions
 /// must match q's head arity (kInvalidArgument otherwise).
-Result<Relation> EvaluateRewritingUnion(const Query& q,
+[[nodiscard]] Result<Relation> EvaluateRewritingUnion(const Query& q,
                                         const UnionQuery& rewritings,
                                         const Database& view_extents,
                                         const EvalOptions& options = {},
@@ -31,7 +31,7 @@ Result<Relation> EvaluateRewritingUnion(const Query& q,
 /// \brief Certain answers via the inverse-rules route: reconstruct base
 /// facts with Skolem placeholders, evaluate `q` on them, drop every answer
 /// carrying a Skolem value.
-Result<Relation> CertainAnswersViaInverseRules(const Query& q,
+[[nodiscard]] Result<Relation> CertainAnswersViaInverseRules(const Query& q,
                                                const InverseRuleSet& rules,
                                                const Database& view_extents,
                                                const EvalOptions& options = {},
@@ -40,7 +40,7 @@ Result<Relation> CertainAnswersViaInverseRules(const Query& q,
 /// Union-query variant (Duschka-Genesereth generalizes disjunct-wise: the
 /// certain answers of a UCQ over sound views are its answers over the
 /// Skolem-reconstructed base facts, minus Skolem-carrying rows).
-Result<Relation> CertainAnswersViaInverseRules(const UnionQuery& q,
+[[nodiscard]] Result<Relation> CertainAnswersViaInverseRules(const UnionQuery& q,
                                                const InverseRuleSet& rules,
                                                const Database& view_extents,
                                                const EvalOptions& options = {},
@@ -66,7 +66,7 @@ struct WorldEnumOptions {
 /// certain answers whenever enough fresh values are provided for the views'
 /// existential variables (the tiny cross-check instances in the tests).
 /// Exponential; guarded by max_world_tuples.
-Result<Relation> BruteForceCertainAnswers(const Query& q, const ViewSet& views,
+[[nodiscard]] Result<Relation> BruteForceCertainAnswers(const Query& q, const ViewSet& views,
                                           const Database& view_extents,
                                           const WorldEnumOptions& options = {});
 

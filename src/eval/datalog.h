@@ -24,7 +24,7 @@ struct DatalogProgram {
 /// Recursion is supported (rounds are bounded by `max_rounds` as a guard);
 /// the inverse-rules programs this library generates are non-recursive and
 /// converge in one round.
-Result<Database> EvaluateDatalogProgram(const DatalogProgram& program,
+[[nodiscard]] Result<Database> EvaluateDatalogProgram(const DatalogProgram& program,
                                         const Database& edb,
                                         const EvalOptions& options = {},
                                         int max_rounds = 10'000);
@@ -36,7 +36,7 @@ Result<Database> EvaluateDatalogProgram(const DatalogProgram& program,
 /// The result contains only the derived base relations; feed it to
 /// EvaluateQuery and drop Skolem-carrying rows for certain answers (see
 /// certain.h).
-Result<Database> ApplyInverseRules(const InverseRuleSet& rules,
+[[nodiscard]] Result<Database> ApplyInverseRules(const InverseRuleSet& rules,
                                    const Database& view_extents,
                                    SkolemTable* skolems,
                                    const EvalOptions& options = {});

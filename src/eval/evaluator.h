@@ -69,14 +69,14 @@ struct EvalStats {
 ///
 /// The result relation has the head's predicate and arity, deduplicated
 /// (set semantics).
-Result<Relation> EvaluateQuery(const Query& q, const Database& db,
+[[nodiscard]] Result<Relation> EvaluateQuery(const Query& q, const Database& db,
                                const EvalOptions& options = {},
                                EvalStats* stats = nullptr);
 
 /// Evaluates a union of CQs and dedups the combined result. Disjuncts
 /// share the relations' cached indexes (EvalStats::index_hits counts the
 /// reuse).
-Result<Relation> EvaluateUnion(const UnionQuery& u, const Database& db,
+[[nodiscard]] Result<Relation> EvaluateUnion(const UnionQuery& u, const Database& db,
                                const EvalOptions& options = {},
                                EvalStats* stats = nullptr);
 

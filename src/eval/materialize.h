@@ -17,7 +17,7 @@ namespace aqv {
 /// ViewSet::AddRule) materialize as the deduplicated union of every rule's
 /// output. `stats`, when non-null, accumulates the evaluation counters of
 /// all view definitions.
-Result<Database> MaterializeViews(const ViewSet& views, const Database& base,
+[[nodiscard]] Result<Database> MaterializeViews(const ViewSet& views, const Database& base,
                                   const EvalOptions& options = {},
                                   EvalStats* stats = nullptr);
 

@@ -14,7 +14,10 @@
 namespace aqv {
 
 Result<std::shared_ptr<const MemMap>> MemMap::Open(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  // Read-only mapping of an immutable committed segment: not a durability
+  // fault point, and eval cannot depend on storage/fs.h without inverting
+  // the storage->eval edge of the module DAG.
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);  // aqv-lint: disable=storage-fs
   if (fd < 0) {
     std::string err = std::strerror(errno);
     if (errno == ENOENT) {

@@ -38,7 +38,7 @@ class MemMap {
   /// Maps `path` read-only. Fails with kNotFound when the file does not
   /// exist and kInternal on any other open/map error; empty files map
   /// with data() == nullptr.
-  static Result<std::shared_ptr<const MemMap>> Open(const std::string& path);
+  [[nodiscard]] static Result<std::shared_ptr<const MemMap>> Open(const std::string& path);
 
   ~MemMap();
   MemMap(const MemMap&) = delete;

@@ -70,7 +70,7 @@ struct ParsedAnswerPayload {
 /// Parses the payload lines (terminator excluded) of a successful
 /// `answer` command. kInvalidArgument when the header or a row line does
 /// not match the transcript grammar.
-Result<ParsedAnswerPayload> ParseAnswerPayload(const std::string& payload);
+[[nodiscard]] Result<ParsedAnswerPayload> ParseAnswerPayload(const std::string& payload);
 
 /// The server's wire rendering of one command result: payload + '\n'
 /// (when non-empty), then `ok` or `err <Code>: <message>` — must match
@@ -158,7 +158,7 @@ struct TcpReplayResult {
 /// response (payload + terminator), check it against the mirror — and
 /// stops at the first divergence or after a `quit`. Transport failures
 /// (connect/send/recv/timeouts) are errors, not divergences.
-Result<TcpReplayResult> ReplayAndCheckOverTcp(int port,
+[[nodiscard]] Result<TcpReplayResult> ReplayAndCheckOverTcp(int port,
                                               const std::vector<std::string>& lines,
                                               const TcpReplayOptions& options);
 

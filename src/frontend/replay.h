@@ -24,7 +24,7 @@ namespace aqv {
 /// stored), and a final `query` line. kInvalidArgument when a base value
 /// cannot be written in the surface syntax (a Skolem, or a symbolic
 /// constant that does not lex as a constant token).
-Result<std::string> ScriptFromScenario(const Scenario& scenario);
+[[nodiscard]] Result<std::string> ScriptFromScenario(const Scenario& scenario);
 
 /// Knobs of the soak-script renderer (SoakScriptFromScenario). All
 /// randomness (churn membership, probe engine rotation) comes from `seed`
@@ -79,7 +79,7 @@ struct SoakScript {
 /// unit of the differential soak harness (frontend/differential.h). The
 /// script is deterministic in (scenario, options) and never emits
 /// non-replayable commands (`load`, `show stats`, `STATS`).
-Result<SoakScript> SoakScriptFromScenario(const Scenario& scenario,
+[[nodiscard]] Result<SoakScript> SoakScriptFromScenario(const Scenario& scenario,
                                           const SoakScriptOptions& options);
 
 }  // namespace aqv

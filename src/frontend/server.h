@@ -82,7 +82,7 @@ class FrontendServer {
 
   /// Binds, listens, and spawns the accept loop. kInternal on socket
   /// errors (port in use, bad host, ...).
-  Status Start();
+  [[nodiscard]] Status Start();
 
   /// Stops accepting, shuts down every live connection, and joins all
   /// threads. Idempotent; safe to call while clients are mid-command

@@ -147,13 +147,13 @@ class Session {
   std::string ProblemSummary() const;
 
   /// "set a query first" / "add at least one view first" preconditions.
-  Status Ready(bool needs_views) const;
+  [[nodiscard]] Status Ready(bool needs_views) const;
 
   /// Runs `engine_name` on the session problem, inline or via the service.
-  Result<RewriteResponse> RunRewrite(const std::string& engine_name);
+  [[nodiscard]] Result<RewriteResponse> RunRewrite(const std::string& engine_name);
 
   /// Runs the answering pipeline, inline or via the service.
-  Result<AnswerResponse> RunAnswer(AnswerRoute route,
+  [[nodiscard]] Result<AnswerResponse> RunAnswer(AnswerRoute route,
                                    const std::string& engine_name);
 
   SessionOptions options_;

@@ -60,7 +60,7 @@ struct BucketResult {
 /// using `views` (comparison-free case). Comparisons on q are carried into
 /// each candidate and handled by the comparison-aware containment test —
 /// sound, with the linearization-cap caveat.
-Result<BucketResult> BucketRewrite(const Query& q, const ViewSet& views,
+[[nodiscard]] Result<BucketResult> BucketRewrite(const Query& q, const ViewSet& views,
                                    const BucketOptions& options = {});
 
 }  // namespace aqv

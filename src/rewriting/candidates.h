@@ -88,7 +88,7 @@ struct CandidateOptions {
 /// induced equalities (homomorphism images are total on head variables).
 ///
 /// Precondition: |body(q)| <= 64 (covered sets are bitmasks).
-Result<std::vector<ViewAtomCandidate>> CanonicalViewTuples(
+[[nodiscard]] Result<std::vector<ViewAtomCandidate>> CanonicalViewTuples(
     const Query& q, const ViewSet& views, const CandidateOptions& options = {});
 
 /// \brief Builds the rewriting query for a chosen set of candidates: head =
@@ -106,7 +106,7 @@ std::optional<Query> BuildRewriting(
 /// Removes union members whose expansion is contained in another member's
 /// expansion (cleanup pass for maximally-contained rewritings). Keeps the
 /// first representative of each equivalence class.
-Result<UnionQuery> RemoveSubsumedDisjuncts(const UnionQuery& rewritings,
+[[nodiscard]] Result<UnionQuery> RemoveSubsumedDisjuncts(const UnionQuery& rewritings,
                                            const ViewSet& views,
                                            const ContainmentOptions& options);
 

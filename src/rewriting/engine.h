@@ -92,7 +92,7 @@ class RewritingEngine {
 
   /// Runs the strategy. CQ engines (lmss/bucket/minicon) require a
   /// singleton request.query; the ucq engine accepts any union.
-  virtual Result<RewriteResponse> Rewrite(const RewriteRequest& request)
+  [[nodiscard]] virtual Result<RewriteResponse> Rewrite(const RewriteRequest& request)
       const = 0;
 };
 
@@ -100,10 +100,10 @@ class RewritingEngine {
 const std::vector<std::string>& EngineNames();
 
 /// Constructs the engine registered under `name` (kNotFound otherwise).
-Result<std::unique_ptr<RewritingEngine>> MakeEngine(std::string_view name);
+[[nodiscard]] Result<std::unique_ptr<RewritingEngine>> MakeEngine(std::string_view name);
 
 /// One-shot convenience: MakeEngine(name)->Rewrite(request).
-Result<RewriteResponse> RunEngine(std::string_view name,
+[[nodiscard]] Result<RewriteResponse> RunEngine(std::string_view name,
                                   const RewriteRequest& request);
 
 }  // namespace aqv

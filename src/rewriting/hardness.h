@@ -55,16 +55,16 @@ struct HardnessInstance {
 };
 
 /// Builds the rewriting-existence instance for graph `g`.
-Result<HardnessInstance> GraphToRewritingInstance(const Graph& g);
+[[nodiscard]] Result<HardnessInstance> GraphToRewritingInstance(const Graph& g);
 
 /// Convenience: full chain 3-SAT -> rewriting instance.
-Result<HardnessInstance> FormulaToRewritingInstance(const Formula3Sat& f);
+[[nodiscard]] Result<HardnessInstance> FormulaToRewritingInstance(const Formula3Sat& f);
 
 /// Exhaustive 3-SAT decision (tests/benches ground truth; num_vars <= 24).
-Result<bool> BruteForceSat(const Formula3Sat& formula);
+[[nodiscard]] Result<bool> BruteForceSat(const Formula3Sat& formula);
 
 /// Exhaustive 3-colorability decision (num_nodes <= 20).
-Result<bool> BruteForceThreeColorable(const Graph& g);
+[[nodiscard]] Result<bool> BruteForceThreeColorable(const Graph& g);
 
 /// Uniform random 3-CNF with `num_clauses` clauses over `num_vars` vars
 /// (distinct variables within each clause).

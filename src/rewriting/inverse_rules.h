@@ -67,7 +67,7 @@ struct InverseRuleSet {
 };
 
 /// Builds the inverse rules for every view in `views`.
-Result<InverseRuleSet> BuildInverseRules(const ViewSet& views);
+[[nodiscard]] Result<InverseRuleSet> BuildInverseRules(const ViewSet& views);
 
 }  // namespace aqv
 

@@ -83,12 +83,12 @@ struct LmssResult {
 /// (sound) but the candidate pool is built from the relational structure
 /// only, so a rewriting that would need new comparison literals in its body
 /// is not found; see DESIGN.md (R4).
-Result<LmssResult> FindEquivalentRewritings(const Query& q,
+[[nodiscard]] Result<LmssResult> FindEquivalentRewritings(const Query& q,
                                             const ViewSet& views,
                                             const LmssOptions& options = {});
 
 /// Decision-only convenience wrapper (max_rewritings = 1).
-Result<bool> ExistsEquivalentRewriting(const Query& q, const ViewSet& views,
+[[nodiscard]] Result<bool> ExistsEquivalentRewriting(const Query& q, const ViewSet& views,
                                        const LmssOptions& options = {});
 
 }  // namespace aqv

@@ -60,7 +60,7 @@ struct MiniConResult {
 /// By the MiniCon correctness theorem, the union of all disjoint-cover
 /// combinations equals the maximally-contained rewriting without any
 /// per-candidate containment test.
-Result<MiniConResult> MiniConRewrite(const Query& q, const ViewSet& views,
+[[nodiscard]] Result<MiniConResult> MiniConRewrite(const Query& q, const ViewSet& views,
                                      const MiniConOptions& options = {});
 
 }  // namespace aqv

@@ -37,7 +37,7 @@ namespace aqv {
 class QueryDeduper {
  public:
   /// Returns true iff `q` was not seen before (and records it).
-  Result<bool> Insert(const Query& q, const ContainmentOptions& options);
+  [[nodiscard]] Result<bool> Insert(const Query& q, const ContainmentOptions& options);
 
   size_t size() const { return count_; }
 
@@ -93,7 +93,7 @@ struct ExpansionCheck {
 /// `picks`, ExpandRewriting over `views`, then the containment checks
 /// `level` asks for. Checks short-circuit: an unsatisfiable expansion or a
 /// failed ⊑ skips the rest.
-Result<ExpansionCheck> BuildAndVerify(
+[[nodiscard]] Result<ExpansionCheck> BuildAndVerify(
     const Query& q, const ViewSet& views,
     const std::vector<const ViewAtomCandidate*>& picks,
     bool include_comparisons, VerifyLevel level,

@@ -125,7 +125,7 @@ struct PlannerResult {
 /// Engines that fail with a budget/size error (kResourceExhausted,
 /// kUnimplemented) are skipped — the planner degrades to the engines that
 /// finished; kInvalidArgument and internal errors propagate.
-Result<PlannerResult> ChooseBestPlan(const Query& q, const ViewSet& views,
+[[nodiscard]] Result<PlannerResult> ChooseBestPlan(const Query& q, const ViewSet& views,
                                      const ExtentStats& view_stats,
                                      const ExtentStats& base_stats,
                                      const PlannerOptions& options = {});

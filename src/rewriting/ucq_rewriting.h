@@ -38,13 +38,13 @@ struct UcqRewritingResult {
 ///
 /// Comparison-free inputs only for the completeness claim; the per-disjunct
 /// LMSS caveats apply otherwise.
-Result<UcqRewritingResult> FindEquivalentUnionRewriting(
+[[nodiscard]] Result<UcqRewritingResult> FindEquivalentUnionRewriting(
     const UnionQuery& q, const ViewSet& views, const LmssOptions& options = {});
 
 /// \brief Maximally-contained rewriting of a union of CQs: the union of the
 /// per-disjunct MiniCon unions (sound and complete disjunct-wise for
 /// comparison-free inputs).
-Result<UnionQuery> MaximallyContainedUnionRewriting(
+[[nodiscard]] Result<UnionQuery> MaximallyContainedUnionRewriting(
     const UnionQuery& q, const ViewSet& views,
     const MiniConOptions& options = {});
 

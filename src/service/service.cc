@@ -243,7 +243,9 @@ Result<BatchResult> RewriteService::RewriteBatch(
     Result<uint64_t> ticket = Submit(request);
     if (!ticket.ok()) {
       // Shutdown raced the batch: collect what was accepted, then fail.
-      for (uint64_t t : tickets) (void)Wait(t);
+      // Discard is sound: the batch already reports the submit error, and
+      // draining exists only to keep tickets from outliving the pool.
+      for (uint64_t t : tickets) AQV_DISCARD_STATUS(Wait(t));
       return ticket.status();
     }
     tickets.push_back(ticket.value());
@@ -280,7 +282,9 @@ Result<AnswerBatchResult> RewriteService::AnswerBatch(
   for (const AnswerRequest& request : batch) {
     Result<uint64_t> ticket = SubmitAnswer(request);
     if (!ticket.ok()) {
-      for (uint64_t t : tickets) (void)WaitAnswer(t);
+      // Same justified discard as RewriteBatch: submit's error is the
+      // batch result; the drain only reclaims accepted tickets.
+      for (uint64_t t : tickets) AQV_DISCARD_STATUS(WaitAnswer(t));
       return ticket.status();
     }
     tickets.push_back(ticket.value());

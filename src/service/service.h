@@ -159,37 +159,37 @@ class RewriteService {
   /// responses[i] corresponds to batch[i]. Engine-level failures are
   /// per-response (`responses[i].status`); the call itself only fails if
   /// the service is shutting down.
-  Result<BatchResult> RewriteBatch(const std::vector<ServiceRequest>& batch);
+  [[nodiscard]] Result<BatchResult> RewriteBatch(const std::vector<ServiceRequest>& batch);
 
   /// Answering twin of RewriteBatch: runs every AnswerRequest through the
   /// pipeline on the shared pool (rewriting and answering jobs interleave
   /// freely on the same workers and oracle).
-  Result<AnswerBatchResult> AnswerBatch(const std::vector<AnswerRequest>& batch);
+  [[nodiscard]] Result<AnswerBatchResult> AnswerBatch(const std::vector<AnswerRequest>& batch);
 
   /// Streaming half: enqueue one request, get a ticket for Wait/TryWait.
   /// Returns kFailedPrecondition-style Internal error if shutting down.
   /// Every ticket must eventually be collected: an uncollected response is
   /// retained (full RewriteResponse payload) until the service dies, so
   /// fire-and-forget submission leaks memory for the service's lifetime.
-  Result<uint64_t> Submit(ServiceRequest request);
+  [[nodiscard]] Result<uint64_t> Submit(ServiceRequest request);
 
   /// Streaming submission of an answering job; collect the ticket with
   /// WaitAnswer/TryWaitAnswer (the rewrite-side Wait reports kNotFound
   /// for answering tickets).
-  Result<uint64_t> SubmitAnswer(AnswerRequest request);
+  [[nodiscard]] Result<uint64_t> SubmitAnswer(AnswerRequest request);
 
   /// Blocks until the ticket's response is ready, then hands it over
   /// (each ticket can be collected exactly once). kNotFound for tickets
   /// never issued, already collected, or submitted as the other job kind.
-  Result<ServiceResponse> Wait(uint64_t ticket);
+  [[nodiscard]] Result<ServiceResponse> Wait(uint64_t ticket);
 
   /// Non-blocking poll: the response if ready (collecting it), nullopt if
   /// still in flight. kNotFound as for Wait.
-  Result<std::optional<ServiceResponse>> TryWait(uint64_t ticket);
+  [[nodiscard]] Result<std::optional<ServiceResponse>> TryWait(uint64_t ticket);
 
   /// Answering twins of Wait/TryWait.
-  Result<AnswerServiceResponse> WaitAnswer(uint64_t ticket);
-  Result<std::optional<AnswerServiceResponse>> TryWaitAnswer(uint64_t ticket);
+  [[nodiscard]] Result<AnswerServiceResponse> WaitAnswer(uint64_t ticket);
+  [[nodiscard]] Result<std::optional<AnswerServiceResponse>> TryWaitAnswer(uint64_t ticket);
 
   /// Totals since construction (percentiles zero; see ServiceStats).
   ServiceStats lifetime_stats() const;
@@ -210,16 +210,16 @@ class RewriteService {
   void WorkerLoop();
   ServiceResponse ExecuteRewrite(Job& job);
   AnswerServiceResponse ExecuteAnswer(Job& job);
-  Result<uint64_t> Enqueue(Job job);
+  [[nodiscard]] Result<uint64_t> Enqueue(Job job);
 
   /// Shared implementation of Wait/WaitAnswer and TryWait/TryWaitAnswer:
   /// the subtle wake-and-kNotFound predicate lives here once, per done
   /// map. Defined in service.cc (only used there).
   template <typename Response>
-  Result<Response> WaitIn(std::unordered_map<uint64_t, Response>& done,
+  [[nodiscard]] Result<Response> WaitIn(std::unordered_map<uint64_t, Response>& done,
                           uint64_t ticket, const char* flavor);
   template <typename Response>
-  Result<std::optional<Response>> TryWaitIn(
+  [[nodiscard]] Result<std::optional<Response>> TryWaitIn(
       std::unordered_map<uint64_t, Response>& done, uint64_t ticket,
       const char* flavor);
 

@@ -37,39 +37,39 @@ uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
 
 /// Creates `path` as a directory if it does not exist (one level; the
 /// parent must exist). Existing directories are fine.
-Status EnsureDir(const std::string& path);
+[[nodiscard]] Status EnsureDir(const std::string& path);
 
 bool FileExists(const std::string& path);
 
 /// Regular-file size in bytes.
-Result<uint64_t> FileSize(const std::string& path);
+[[nodiscard]] Result<uint64_t> FileSize(const std::string& path);
 
 /// Entry names in `path` (no "." / ".."), sorted.
-Result<std::vector<std::string>> ListDir(const std::string& path);
+[[nodiscard]] Result<std::vector<std::string>> ListDir(const std::string& path);
 
 /// Whole-file read.
-Result<std::string> ReadFile(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFile(const std::string& path);
 
 /// Unlinks `path`; missing files are OK (idempotent GC).
-Status RemoveFile(const std::string& path);
+[[nodiscard]] Status RemoveFile(const std::string& path);
 
 /// Truncates `path` to `size` bytes (journal torn-tail repair).
-Status TruncateFile(const std::string& path, uint64_t size);
+[[nodiscard]] Status TruncateFile(const std::string& path, uint64_t size);
 
 /// Creates/overwrites `path` with `data` and, when `sync`, fsyncs it
 /// before closing. Crash-injectable: the write can tear at any byte, and
 /// the fsync can be the crash site.
-Status WriteFileDurable(const std::string& path, const std::string& data,
+[[nodiscard]] Status WriteFileDurable(const std::string& path, const std::string& data,
                         bool sync);
 
 /// The atomic commit primitive: writes `<path>.tmp` via WriteFileDurable,
 /// renames it over `path`, and (when `sync`) fsyncs the containing
 /// directory so the rename itself is durable.
-Status ReplaceFileAtomic(const std::string& path, const std::string& data,
+[[nodiscard]] Status ReplaceFileAtomic(const std::string& path, const std::string& data,
                          bool sync);
 
 /// fsyncs directory `dir` (making renames/creates within it durable).
-Status FsyncDir(const std::string& dir, bool sync);
+[[nodiscard]] Status FsyncDir(const std::string& dir, bool sync);
 
 /// \brief An exclusive advisory lock on `<dir>/LOCK`: held for the
 /// lifetime of the object, released (and the fd closed) on destruction.
@@ -78,7 +78,7 @@ Status FsyncDir(const std::string& dir, bool sync);
 class DirLock {
  public:
   /// kResourceExhausted when another session holds the lock.
-  static Result<DirLock> Acquire(const std::string& dir);
+  [[nodiscard]] static Result<DirLock> Acquire(const std::string& dir);
 
   DirLock(DirLock&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
   DirLock& operator=(DirLock&& other) noexcept;
@@ -100,7 +100,7 @@ class DirLock {
 class AppendFile {
  public:
   /// Opens (creating if needed) `path` for appending.
-  static Result<AppendFile> Open(const std::string& path);
+  [[nodiscard]] static Result<AppendFile> Open(const std::string& path);
 
   AppendFile(AppendFile&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
   AppendFile& operator=(AppendFile&& other) noexcept;
@@ -108,7 +108,7 @@ class AppendFile {
   AppendFile& operator=(const AppendFile&) = delete;
   ~AppendFile() { Close(); }
 
-  Status Append(const std::string& data, bool sync);
+  [[nodiscard]] Status Append(const std::string& data, bool sync);
   void Close();
   bool open() const { return fd_ >= 0; }
 

@@ -75,7 +75,7 @@ std::string EncodeManifest(const Manifest& manifest);
 
 /// kParseError on any structural violation, bad field, or `end` checksum
 /// mismatch.
-Result<Manifest> ParseManifest(const std::string& text);
+[[nodiscard]] Result<Manifest> ParseManifest(const std::string& text);
 
 /// Frames one journaled mutation command.
 std::string EncodeJournalRecord(const std::string& command);

@@ -50,7 +50,7 @@ std::string EncodeSegment(const Relation& rel);
 /// Validates the magic, header geometry (header + arity*rows Values ==
 /// `size`), and — when `verify_checksum` — the data CRC. kParseError on
 /// any mismatch (a torn or foreign file must never be installed).
-Result<SegmentInfo> ParseSegmentHeader(const uint8_t* data, size_t size,
+[[nodiscard]] Result<SegmentInfo> ParseSegmentHeader(const uint8_t* data, size_t size,
                                        bool verify_checksum);
 
 /// Loads the segment at `path` as a Relation for predicate `pred`:
@@ -58,7 +58,7 @@ Result<SegmentInfo> ParseSegmentHeader(const uint8_t* data, size_t size,
 /// copied into the in-memory columnar backend. `expected_crc` cross-checks
 /// the header CRC against the manifest entry (detecting a wrong-file
 /// swap, not just torn bytes).
-Result<Relation> LoadSegment(const std::string& path, PredId pred,
+[[nodiscard]] Result<Relation> LoadSegment(const std::string& path, PredId pred,
                              uint32_t expected_crc, bool use_mmap,
                              bool verify_checksum);
 

@@ -92,7 +92,7 @@ class SessionStore {
   /// kResourceExhausted when another session holds the lock; a missing or
   /// unreadable manifest is *not* an error here (a fresh directory has
   /// none) — Recover reports that.
-  static Result<std::unique_ptr<SessionStore>> Attach(
+  [[nodiscard]] static Result<std::unique_ptr<SessionStore>> Attach(
       const std::string& dir, const StoreOptions& options);
 
   ~SessionStore() = default;
@@ -106,17 +106,17 @@ class SessionStore {
   /// (truncating a torn one), and leaves the journal open for appending.
   /// kNotFound when nothing was ever committed; kParseError only for
   /// corruption no crash can produce (foreign or hand-edited files).
-  Result<RecoveredState> Recover();
+  [[nodiscard]] Result<RecoveredState> Recover();
 
   /// Commits `input` as the next generation: segments + fresh journal
   /// written and fsync'd, manifest swapped atomically, old generation
   /// garbage-collected. On failure the previous commit is untouched.
-  Status Snapshot(const SnapshotInput& input);
+  [[nodiscard]] Status Snapshot(const SnapshotInput& input);
 
   /// Appends one acknowledged mutation command to the journal (fsync'd
   /// when options.sync). Only valid after a successful Snapshot or
   /// Recover.
-  Status Append(const std::string& command);
+  [[nodiscard]] Status Append(const std::string& command);
 
   const std::string& dir() const { return dir_; }
   const StoreOptions& options() const { return options_; }
@@ -133,7 +133,7 @@ class SessionStore {
   /// Removes files no longer referenced after a commit (old segments and
   /// journals, stray MANIFEST.tmp). Idempotent; orphans from a crash here
   /// are collected by the next snapshot.
-  Status CollectGarbage(const std::vector<std::string>& keep);
+  [[nodiscard]] Status CollectGarbage(const std::vector<std::string>& keep);
 
   std::string dir_;
   StoreOptions options_;

@@ -1,6 +1,23 @@
 #include "util/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace aqv {
+
+namespace internal_status {
+
+void DieBadAccess(const char* what, const char* detail) {
+  if (detail != nullptr && detail[0] != '\0') {
+    std::fprintf(stderr, "aqv fatal: %s (%s)\n", what, detail);
+  } else {
+    std::fprintf(stderr, "aqv fatal: %s\n", what);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_status
 
 namespace {
 

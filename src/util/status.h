@@ -12,7 +12,6 @@
 #ifndef AQV_UTIL_STATUS_H_
 #define AQV_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
@@ -42,32 +41,45 @@ enum class StatusCode : int {
   kUnimplemented = 6,
 };
 
+namespace internal_status {
+
+/// Aborts the process with a diagnostic on stderr. Always on — deliberately
+/// not compiled out under NDEBUG, so a bad Result access is a crash in every
+/// build type instead of undefined behaviour in Release.
+[[noreturn]] void DieBadAccess(const char* what, const char* detail);
+
+}  // namespace internal_status
+
 /// \brief Lightweight success-or-error carrier.
 ///
 /// An engineered subset of the Arrow/RocksDB Status class: a code plus a
 /// human-readable message. Ok statuses carry no allocation.
-class Status {
+///
+/// The class-level [[nodiscard]] makes every by-value Status return site a
+/// compiler-checked obligation: callers must handle the status or discard it
+/// explicitly via AQV_DISCARD_STATUS with a justification comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
 
-  static Status OK() { return Status(); }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
@@ -93,28 +105,37 @@ class Status {
 ///   if (!r.ok()) return r.status();
 ///   Query q = std::move(r).value();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit from an error Status. Must not be OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      internal_status::DieBadAccess(
+          "Result constructed from OK status without a value", "");
+    }
   }
 
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
+  /// Accessors hard-fail (abort with the carried error on stderr) when called
+  /// on an error Result — in every build type, including NDEBUG Release. The
+  /// pre-hardening assert() compiled out under NDEBUG and left Release builds
+  /// dereferencing an empty optional: undefined behaviour that UBSan cannot
+  /// reliably flag once the optimizer folds it. See tests/test_util.cc death
+  /// tests.
   const T& value() const& {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckOk();
     return std::move(*value_);
   }
 
@@ -124,9 +145,22 @@ class Result {
   T* operator->() { return &value(); }
 
  private:
+  void CheckOk() const {
+    if (!ok()) {
+      internal_status::DieBadAccess("Result accessed while holding an error",
+                                    status_.ToString().c_str());
+    }
+  }
+
   std::optional<T> value_;
   Status status_;
 };
+
+/// Explicitly discards a [[nodiscard]] Status or Result. Use only where the
+/// failure is deliberately irrelevant (best-effort cleanup on an error path
+/// that already has a primary status to report); every use must carry an
+/// adjacent comment saying why ignoring the error is sound.
+#define AQV_DISCARD_STATUS(expr) static_cast<void>(expr)
 
 /// Propagates a non-OK Status from an expression (statement form).
 #define AQV_RETURN_NOT_OK(expr)             \

@@ -26,11 +26,11 @@ struct ExpansionResult {
 ///
 /// The expansion is the query LMSS compares against Q: `rewriting` is an
 /// equivalent rewriting of Q iff Expand(rewriting) ≡ Q.
-Result<ExpansionResult> ExpandRewriting(const Query& rewriting,
+[[nodiscard]] Result<ExpansionResult> ExpandRewriting(const Query& rewriting,
                                         const ViewSet& views);
 
 /// Expands every disjunct; unsatisfiable disjuncts are dropped.
-Result<UnionQuery> ExpandUnion(const UnionQuery& rewritings,
+[[nodiscard]] Result<UnionQuery> ExpandUnion(const UnionQuery& rewritings,
                                const ViewSet& views);
 
 /// \brief Minimizes a rewriting at the *view-atom* level: drops body atoms
@@ -39,7 +39,7 @@ Result<UnionQuery> ExpandUnion(const UnionQuery& rewritings,
 /// — the rewriting-level analogue of Chandra-Merlin minimization, which
 /// operates below the view abstraction and cannot remove a redundant view
 /// atom whose expansion overlaps another's.
-Result<Query> MinimizeRewriting(const Query& rewriting, const ViewSet& views,
+[[nodiscard]] Result<Query> MinimizeRewriting(const Query& rewriting, const ViewSet& views,
                                 const ContainmentOptions& options = {});
 
 }  // namespace aqv

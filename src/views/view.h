@@ -40,7 +40,7 @@ class ViewSet {
  public:
   /// Adds a view from its defining query. Fails if a view with the same head
   /// predicate already exists or the definition is invalid.
-  Status Add(Query definition);
+  [[nodiscard]] Status Add(Query definition);
 
   /// Adds one more rule for a head predicate that may already have views —
   /// a *union source*, whose extent is the union of all its rules'
@@ -49,13 +49,13 @@ class ViewSet {
   /// the inverse-rules builder reject view sets containing them, because
   /// expanding a view atom by one rule of a disjunctive definition is
   /// unsound.
-  Status AddRule(Query definition);
+  [[nodiscard]] Status AddRule(Query definition);
 
   /// True when some head predicate has more than one rule (AddRule).
   bool HasUnionSources() const { return has_union_sources_; }
 
   /// Parses a program of view definitions, one rule per view.
-  static Result<ViewSet> Parse(std::string_view text, Catalog* catalog);
+  [[nodiscard]] static Result<ViewSet> Parse(std::string_view text, Catalog* catalog);
 
   /// The view with head predicate `pred`, or nullptr.
   const View* FindByPred(PredId pred) const;
@@ -69,7 +69,7 @@ class ViewSet {
   const View& view(int i) const { return views_[i]; }
 
  private:
-  Status AddImpl(Query definition, bool allow_duplicate_pred);
+  [[nodiscard]] Status AddImpl(Query definition, bool allow_duplicate_pred);
 
   std::vector<View> views_;
   bool has_union_sources_ = false;

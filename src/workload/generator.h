@@ -85,7 +85,7 @@ struct GeneratedScenarioSpec {
   double zipf_skew = 0.8;
 
   /// Rejects out-of-band parameters (kInvalidArgument with the reason).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// \brief Generates one scenario from `spec`: registers the mediated
@@ -94,7 +94,7 @@ struct GeneratedScenarioSpec {
 /// (frontend/replay.h ScriptFromScenario) and, when
 /// `spec.guarantee_equivalent`, satisfies route equivalence
 /// (direct ≡ complete ≡ inverse-rules ≡ cost) for every engine.
-Result<Scenario> GenerateScenario(const GeneratedScenarioSpec& spec);
+[[nodiscard]] Result<Scenario> GenerateScenario(const GeneratedScenarioSpec& spec);
 
 }  // namespace aqv
 

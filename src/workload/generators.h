@@ -43,7 +43,7 @@ struct ChainQuerySpec {
 };
 
 /// Builds the chain query; predicates are registered in `catalog`.
-Result<Query> MakeChainQuery(Catalog* catalog, const ChainQuerySpec& spec);
+[[nodiscard]] Result<Query> MakeChainQuery(Catalog* catalog, const ChainQuerySpec& spec);
 
 /// Parameters for a random family of sub-chain views over the same
 /// predicates as a ChainQuerySpec.
@@ -58,7 +58,7 @@ struct ChainViewSpec {
 };
 
 /// Builds `num_views` random sub-chain views v_i(...) :- r_s..r_{s+l-1}.
-Result<ViewSet> MakeChainViews(Catalog* catalog, Rng* rng,
+[[nodiscard]] Result<ViewSet> MakeChainViews(Catalog* catalog, Rng* rng,
                                const ChainViewSpec& spec);
 
 // ---------------------------------------------------------------------------
@@ -74,7 +74,7 @@ struct StarQuerySpec {
   std::string head_name = "q";
 };
 
-Result<Query> MakeStarQuery(Catalog* catalog, const StarQuerySpec& spec);
+[[nodiscard]] Result<Query> MakeStarQuery(Catalog* catalog, const StarQuerySpec& spec);
 
 /// Views covering random subsets of rays.
 struct StarViewSpec {
@@ -87,7 +87,7 @@ struct StarViewSpec {
   std::string view_prefix = "v";
 };
 
-Result<ViewSet> MakeStarViews(Catalog* catalog, Rng* rng,
+[[nodiscard]] Result<ViewSet> MakeStarViews(Catalog* catalog, Rng* rng,
                               const StarViewSpec& spec);
 
 // ---------------------------------------------------------------------------
@@ -102,7 +102,7 @@ struct CompleteQuerySpec {
   std::string head_name = "q";
 };
 
-Result<Query> MakeCompleteQuery(Catalog* catalog,
+[[nodiscard]] Result<Query> MakeCompleteQuery(Catalog* catalog,
                                 const CompleteQuerySpec& spec);
 
 /// Views over random subsets of the clique's edges.
@@ -116,7 +116,7 @@ struct CompleteViewSpec {
   std::string view_prefix = "v";
 };
 
-Result<ViewSet> MakeCompleteViews(Catalog* catalog, Rng* rng,
+[[nodiscard]] Result<ViewSet> MakeCompleteViews(Catalog* catalog, Rng* rng,
                                   const CompleteViewSpec& spec);
 
 // ---------------------------------------------------------------------------
@@ -138,11 +138,11 @@ struct RandomQuerySpec {
 /// A random CQ: subgoals over random predicates with uniformly drawn
 /// variable (or constant) arguments; the head projects `head_arity` randomly
 /// chosen body variables. Always safe by construction.
-Result<Query> MakeRandomQuery(Catalog* catalog, Rng* rng,
+[[nodiscard]] Result<Query> MakeRandomQuery(Catalog* catalog, Rng* rng,
                               const RandomQuerySpec& spec);
 
 /// `num_views` random views over the same predicate space.
-Result<ViewSet> MakeRandomViews(Catalog* catalog, Rng* rng,
+[[nodiscard]] Result<ViewSet> MakeRandomViews(Catalog* catalog, Rng* rng,
                                 const RandomQuerySpec& base, int num_views,
                                 std::string_view view_prefix = "v");
 

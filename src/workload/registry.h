@@ -31,7 +31,7 @@ const std::vector<std::string>& ScenarioNames();
 /// Additionally accepts "generated" — a default-spec instance of the
 /// scenario-family generator (workload/generator.h) — which is kept out
 /// of ScenarioNames() so existing registry-iterating grids are unchanged.
-Result<Scenario> MakeScenarioByName(std::string_view name, uint64_t seed,
+[[nodiscard]] Result<Scenario> MakeScenarioByName(std::string_view name, uint64_t seed,
                                     int db_size);
 
 /// \brief Runs one engine on one scenario: wraps the scenario's query and
@@ -39,7 +39,7 @@ Result<Scenario> MakeScenarioByName(std::string_view name, uint64_t seed,
 /// too) and dispatches through the engine registry. `options.oracle`, when
 /// set, is shared across calls — the cross-engine cache reuse the bench
 /// measures.
-Result<RewriteResponse> RewriteScenarioWithEngine(const Scenario& scenario,
+[[nodiscard]] Result<RewriteResponse> RewriteScenarioWithEngine(const Scenario& scenario,
                                                   std::string_view engine_name,
                                                   const EngineOptions& options);
 
@@ -73,7 +73,7 @@ struct ScenarioRequestBatch {
 /// EngineOptions (no oracle); the service wires its shared oracle in.
 /// Empty name lists or repeats < 1 yield kInvalidArgument; unknown names
 /// propagate kNotFound from the underlying registries.
-Result<ScenarioRequestBatch> MakeBatchFromScenarios(
+[[nodiscard]] Result<ScenarioRequestBatch> MakeBatchFromScenarios(
     const std::vector<std::string>& scenario_names,
     const std::vector<std::string>& engine_names, int repeats, uint64_t seed,
     int db_size);
@@ -113,7 +113,7 @@ struct AnswerScenarioBatch {
 /// default options (no oracle); the service wires its shared oracle in.
 /// Empty name/route lists or repeats < 1 yield kInvalidArgument; unknown
 /// names propagate kNotFound.
-Result<AnswerScenarioBatch> MakeAnswerBatchFromScenarios(
+[[nodiscard]] Result<AnswerScenarioBatch> MakeAnswerBatchFromScenarios(
     const std::vector<std::string>& scenario_names,
     const std::vector<std::string>& engine_names,
     const std::vector<AnswerRoute>& routes, int repeats, uint64_t seed,

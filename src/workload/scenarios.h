@@ -31,16 +31,16 @@ struct Scenario {
 /// The `goodflights` source supplies an equivalent rewriting; dropping it
 /// (as the examples do) leaves only strictly-contained rewritings, which is
 /// the certain-answer regime.
-Result<Scenario> MakeTravelScenario(uint64_t seed, int db_size);
+[[nodiscard]] Result<Scenario> MakeTravelScenario(uint64_t seed, int db_size);
 
 /// \brief Warehouse materialized-view scenario: a sales star schema with
 /// pre-joined views chosen so the default query has an equivalent rewriting
 /// (the query-optimization use case of LMSS — F5 measures the speedup).
-Result<Scenario> MakeWarehouseScenario(uint64_t seed, int db_size);
+[[nodiscard]] Result<Scenario> MakeWarehouseScenario(uint64_t seed, int db_size);
 
 /// \brief Bibliography scenario modeled on the classic Information-Manifold
 /// examples: cites/sameTopic sources with restricted exposures.
-Result<Scenario> MakeBibliographyScenario(uint64_t seed, int db_size);
+[[nodiscard]] Result<Scenario> MakeBibliographyScenario(uint64_t seed, int db_size);
 
 }  // namespace aqv
 

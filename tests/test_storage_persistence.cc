@@ -20,6 +20,7 @@
 #include "frontend/server.h"
 #include "frontend/session.h"
 #include "gtest/gtest.h"
+#include "storage/fault.h"
 #include "storage/fs.h"
 #include "workload/generator.h"
 
@@ -43,8 +44,8 @@ class ScratchDir {
     auto names = ListDir(path_);
     if (names.ok()) {
       for (const std::string& name : *names) {
-        Status removed = RemoveFile(path_ + "/" + name);
-        (void)removed;
+        // Best-effort scratch cleanup; a leftover file fails the next run.
+        AQV_DISCARD_STATUS(RemoveFile(path_ + "/" + name));
       }
     }
     ::rmdir(path_.c_str());
@@ -118,6 +119,35 @@ TEST(StoragePersistenceTest, SaveOpenAnswersByteIdenticalBothBackends) {
     EXPECT_EQ(AnswerAllRoutes(reader), expected)
         << (use_mmap ? "mmap" : "columnar");
   }
+}
+
+// Error-discipline regression: a mutation whose journal append fails must
+// surface that failure to the user — the fact applied in memory but is NOT
+// durable, and reporting "ok" would quietly promise durability the disk
+// never delivered. The [[nodiscard]] audit hardened exactly this path
+// (Session::Journaled turns an Append error into the command's status).
+TEST(StoragePersistenceTest, JournalAppendFailureSurfacesToUser) {
+  ScratchDir dir("journalfail");
+  Session writer;
+  LoadProblem(writer);
+  ASSERT_TRUE(writer.Execute("save " + dir.path()).ok());
+
+  // Arm the injector: the next durable fault point is the journal fsync
+  // of the upcoming `fact` append.
+  FaultArm(0, -1);
+  CommandResult mutated = writer.Execute("fact e(9, 9).");
+  FaultProbe probe = FaultDisarm();
+  ASSERT_GT(probe.points, 0u) << "append path traversed no fault point";
+  EXPECT_FALSE(mutated.ok())
+      << "journal append failed but the command reported success";
+  EXPECT_EQ(mutated.status.code(), StatusCode::kInternal);
+
+  // The session itself stays usable; the mutation is visible in memory
+  // (kProblem loads 4 e-tuples; the failed-to-journal fact is the 5th).
+  CommandResult shown = writer.Execute("show facts");
+  EXPECT_TRUE(shown.ok());
+  EXPECT_NE(shown.output.find("e: 5 tuples"), std::string::npos)
+      << shown.output;
 }
 
 TEST(StoragePersistenceTest, JournaledMutationsSurviveReopen) {

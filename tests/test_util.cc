@@ -51,6 +51,36 @@ TEST(Result, MoveOutValue) {
   EXPECT_EQ(v, "payload");
 }
 
+// value() on an error Result must abort with the carried error in every
+// build type. Before the hardening this was an assert, compiled out under
+// NDEBUG, so Release builds dereferenced an empty optional — UB that the
+// ubsan CI job could never see precisely because the optimizer had already
+// folded it. These death tests pin the always-on behavior.
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r = Status::NotFound("no such row");
+  EXPECT_DEATH(static_cast<void>(r.value()), "no such row");
+}
+
+TEST(ResultDeathTest, DereferenceOnErrorAborts) {
+  Result<std::string> r = Status::Internal("segment torn");
+  EXPECT_DEATH(static_cast<void>(r->size()), "segment torn");
+}
+
+TEST(ResultDeathTest, MovedValueOnErrorAborts) {
+  EXPECT_DEATH(
+      {
+        Result<std::string> r = Status::InvalidArgument("bad arity");
+        std::string v = std::move(r).value();
+        static_cast<void>(v);
+      },
+      "bad arity");
+}
+
+TEST(ResultDeathTest, ConstructFromOkStatusAborts) {
+  EXPECT_DEATH(static_cast<void>(Result<int>(Status::OK())),
+               "without a value");
+}
+
 Result<int> Halve(int x) {
   if (x % 2 != 0) return Status::InvalidArgument("odd");
   return x / 2;

@@ -1,0 +1,19 @@
+// lint-path: src/eval/bad_suppression.cc
+// Suppression hygiene: unknown rule ids and misplaced disable-file
+// directives are themselves findings, and a suppression for rule A does
+// not silence rule B on the same line.
+
+#include "eval/relation.h"
+
+namespace aqv {
+
+// aqv-lint: disable=not-a-real-rule  // expect: suppression
+
+inline int StillCaught() {
+  return rand();  // aqv-lint: disable=no-throw -- wrong rule  // expect: determinism
+}
+
+}  // namespace aqv
+
+// A disable-file below line 10 is rejected rather than silently honored.
+// aqv-lint: disable-file=determinism  // expect: suppression

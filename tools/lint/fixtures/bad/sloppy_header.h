@@ -1,0 +1,31 @@
+// lint-path: src/cq/sloppy_header.h
+// Wrong include guard, unannotated fallible declarations, and a
+// service-from-below include (only frontend may include service).
+
+#ifndef SLOPPY_HEADER_H  // expect: include-guard
+#define SLOPPY_HEADER_H
+
+#include "service/service.h"  // expect: layering
+#include "util/status.h"
+
+namespace aqv {
+
+Status Validate(int x);  // expect: nodiscard-decl
+
+Result<int> Count(const char* name);  // expect: nodiscard-decl
+
+// mt19937 is banned even seeded: util/rng.h is the one sanctioned RNG.
+inline int Roll(std::mt19937* gen) {  // expect: determinism
+  return static_cast<int>((*gen)());
+}
+
+inline long Stamp() {
+  // system_clock is wall time; replays would not be byte-deterministic.
+  return std::chrono::system_clock::now()  // expect: determinism
+      .time_since_epoch()
+      .count();
+}
+
+}  // namespace aqv
+
+#endif  // SLOPPY_HEADER_H

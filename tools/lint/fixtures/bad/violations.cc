@@ -1,0 +1,40 @@
+// lint-path: src/util/violations.cc
+// One of everything the body rules ban. util is the bottom of the DAG, so
+// any aqv include from here is also a layering violation.
+
+#include "cq/query.h"  // expect: layering
+#include "frontend/server.h"  // expect: layering
+#include "not_a_module/thing.h"  // expect: layering
+#include "util/status.h"
+
+namespace aqv {
+
+Status Explode(bool bad) {
+  if (bad) throw 42;  // expect: no-throw
+  return Status::OK();
+}
+
+int UnseededNoise() {
+  return rand() % 6;  // expect: determinism
+}
+
+long WallClockSeed() {
+  return time(nullptr);  // expect: determinism
+}
+
+void RawLockDance(std::mutex* mu) {
+  mu->lock();  // expect: lock-discipline
+  mu->unlock();  // expect: lock-discipline
+}
+
+Status SneakySyscalls(const char* a, const char* b, int fd) {
+  if (rename(a, b) != 0) {  // expect: storage-fs
+    return Status::Internal("rename failed");
+  }
+  if (fsync(fd) != 0) {  // expect: storage-fs
+    return Status::Internal("fsync failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace aqv

@@ -1,0 +1,21 @@
+// lint-path: src/eval/justified_suppression.cc
+// Working suppressions: each banned token below carries a same-line or
+// next-line disable with a justification, so a clean run stays clean.
+
+#include "eval/relation.h"
+
+namespace aqv {
+
+inline int OpenReadOnly(const char* path) {
+  // Read-only fd on an immutable file: not a durability fault point.
+  return ::open(path, 0);  // aqv-lint: disable=storage-fs
+}
+
+inline void AdoptForeignLockHandle(std::unique_lock<std::mutex>* held) {
+  // Re-acquiring through an std::unique_lock is still scoped ownership;
+  // the raw-call ban is about naked mutex members.
+  // aqv-lint: disable-next-line=lock-discipline
+  held->lock();
+}
+
+}  // namespace aqv

@@ -1,0 +1,31 @@
+// lint-path: src/eval/stripper_regressions.cc
+// Regression fixture for the comment/string/literal stripper: none of the
+// banned tokens below are real code, so a correct stripper reports nothing.
+
+#include "eval/relation.h"
+#include "util/status.h"
+
+namespace aqv {
+
+// C++14 digit separators are not char literals. A stripper that treats the
+// lone apostrophe in 100'000 as an opening quote swallows the rest of the
+// file — including real violations — so this constant guards the guard.
+constexpr uint64_t kBudget = 5'000'000;
+constexpr uint64_t kCap = 100'000;
+
+// Banned tokens in comments must not fire: throw, rand(), fsync(),
+// std::random_device, mu_.lock(), time(NULL), system_clock.
+// #include "frontend/server.h"  (a commented-out include is not an edge)
+
+inline const char* Describe() {
+  // Banned tokens inside string literals are data, not calls.
+  return "call rand() then throw; fsync(fd); mu_.lock(); time(0)";
+}
+
+inline char Apostrophe() { return '\''; }
+
+// The word `timeline(` contains "time(" only when boundaries are ignored;
+// qualified std::time-like names on members (obj.time_ms) are fields.
+inline int timeline(int x) { return x; }
+
+}  // namespace aqv

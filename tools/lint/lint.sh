@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point for the static-analysis job's Python leg.
+#
+# Order matters: the fixture self-test and the checker's own unit suite
+# run first, so a broken aqv_lint can never vacuously bless the tree; the
+# real-tree run writes the JSON report CI uploads as an artifact; the
+# hygiene step (py_compile + tabnanny, both stdlib — no new deps) covers
+# every Python tool in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+report="${1:-lint_report.json}"
+py_tools=(tools/lint/aqv_lint.py tools/check_bench_smoke.py tests/test_lint.py)
+
+python3 tools/lint/aqv_lint.py --fixtures
+python3 tests/test_lint.py
+python3 tools/lint/aqv_lint.py --report "$report"
+python3 -m py_compile "${py_tools[@]}"
+python3 -m tabnanny "${py_tools[@]}"
+echo "static-analysis (python leg): clean; report at $report"
