@@ -15,17 +15,41 @@
 ///
 /// The dispatch tax should stay in the noise: the frontend's job is
 /// plumbing, and this bench is the regression guard on that claim.
+///
+/// PR 10 adds the epoll TCP server sweeps:
+///
+///   BM_F10_ServerManyConnections/N   N concurrent clients replaying one
+///                          scenario script against a single shared-cache
+///                          server (N = 1..128; the epoll loop multiplexes
+///                          all of them onto one worker pool) — aggregate
+///                          commands/s.
+///   BM_F10_ServerRepeatedQueryHitRate/N  the shared-schema repeated-query
+///                          regime: N successive connections re-issuing the
+///                          same rewrite/answer probes through the shared
+///                          oracle + plan cache, byte-compared against a
+///                          per-connection-cache server on every repeat.
+///                          Counters surface the steady-state oracle, plan,
+///                          and combined hit rates and the byte_identical
+///                          attestation.
 
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "answering/answering.h"
 #include "bench_common.h"
 #include "frontend/replay.h"
+#include "frontend/server.h"
 #include "frontend/session.h"
 #include "workload/registry.h"
 
@@ -117,6 +141,140 @@ void F10Args(benchmark::internal::Benchmark* b) {
   b->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
 }
 
+// --- epoll server sweeps (PR 10) ---------------------------------------
+
+/// Blocking TCP client: sends `request` in one write, reads to EOF (the
+/// request ends in `quit`, so the server closes when done).
+std::string ReplayOverTcp(int port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string received;
+  char buf[8192];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    received.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return received;
+}
+
+/// One whole-session request: the scenario script plus rewrite/answer
+/// probes and a closing `quit`.
+std::string ProbedRequest(const std::string& scenario_name, int db_size) {
+  F10Setup setup = MakeSetup(scenario_name, db_size);
+  return setup.script +
+         "rewrite with lmss\n"
+         "rewrite with minicon\n"
+         "answer route complete with lmss\n"
+         "quit\n";
+}
+
+void RunServerManyConnections(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const std::string request = ProbedRequest("warehouse", /*db_size=*/50);
+  const size_t commands_per_conn = static_cast<size_t>(
+      std::count(request.begin(), request.end(), '\n'));
+  ServerOptions options;
+  options.share_cache = true;
+  options.max_connections = 256;
+  FrontendServer server(options);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  for (auto _ : state) {
+    std::vector<std::string> responses(static_cast<size_t>(clients));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        responses[static_cast<size_t>(c)] =
+            ReplayOverTcp(server.port(), request);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (int c = 1; c < clients; ++c) {
+      if (responses[static_cast<size_t>(c)] != responses[0]) {
+        state.SkipWithError("cross-connection response mismatch");
+        return;
+      }
+    }
+    if (responses[0].empty()) {
+      state.SkipWithError("empty response");
+      return;
+    }
+    benchmark::DoNotOptimize(responses);
+  }
+  state.SetItemsProcessed(state.iterations() * clients *
+                          static_cast<int64_t>(commands_per_conn));
+  state.counters["clients"] = static_cast<double>(clients);
+  state.counters["commands_per_conn"] =
+      static_cast<double>(commands_per_conn);
+  state.counters["oracle_hit_rate"] = server.oracle().stats().hit_rate();
+  state.counters["plan_hit_rate"] = server.plan_cache().stats().hit_rate();
+  server.Stop();
+}
+
+void RunServerRepeatedQueryHitRate(benchmark::State& state) {
+  const int repeats = static_cast<int>(state.range(0));
+  const std::string request = ProbedRequest("warehouse", /*db_size=*/50);
+  ServerOptions shared;
+  shared.share_cache = true;
+  ServerOptions isolated;
+  isolated.share_cache = false;
+  FrontendServer shared_server(shared);
+  FrontendServer isolated_server(isolated);
+  if (!shared_server.Start().ok() || !isolated_server.Start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  bool identical = true;
+  for (auto _ : state) {
+    for (int r = 0; r < repeats; ++r) {
+      // A fresh connection per repeat: the hits below are genuinely
+      // cross-connection (each repeat's catalog is new), and every repeat
+      // is byte-compared against the per-connection-cache server.
+      std::string cached = ReplayOverTcp(shared_server.port(), request);
+      std::string uncached = ReplayOverTcp(isolated_server.port(), request);
+      identical = identical && !cached.empty() && cached == uncached;
+      benchmark::DoNotOptimize(cached);
+    }
+  }
+  if (!identical) {
+    state.SkipWithError("shared-cache response diverged from per-conn run");
+    return;
+  }
+  OracleStats oracle = shared_server.oracle().stats();
+  PlanCacheStats plans = shared_server.plan_cache().stats();
+  const double lookups =
+      static_cast<double>(oracle.lookups() + plans.lookups());
+  state.SetItemsProcessed(state.iterations() * repeats);
+  state.counters["repeats"] = static_cast<double>(repeats);
+  state.counters["oracle_hit_rate"] = oracle.hit_rate();
+  state.counters["plan_hit_rate"] = plans.hit_rate();
+  state.counters["combined_hit_rate"] =
+      lookups == 0.0
+          ? 0.0
+          : static_cast<double>(oracle.hits + plans.hits) / lookups;
+  state.counters["byte_identical"] = 1.0;
+  shared_server.Stop();
+  isolated_server.Stop();
+}
+
 void RegisterAll() {
   for (const std::string& scenario : ScenarioNames()) {
     std::string replay = "BM_F10_ScriptReplay/" + scenario;
@@ -145,6 +303,21 @@ void RegisterAll() {
         })
         ->Apply(F10Args);
   }
+  benchmark::RegisterBenchmark("BM_F10_ServerManyConnections",
+                               RunServerManyConnections)
+      ->Arg(1)
+      ->Arg(8)
+      ->Arg(32)
+      ->Arg(128)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+  benchmark::RegisterBenchmark("BM_F10_ServerRepeatedQueryHitRate",
+                               RunServerRepeatedQueryHitRate)
+      ->Arg(2)
+      ->Arg(8)
+      ->Arg(32)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
 }
 
 }  // namespace

@@ -49,11 +49,13 @@ ContainmentOracle::ContainmentOracle(size_t max_entries, size_t num_shards)
 
 const ContainmentOracle::FormEntry& ContainmentOracle::FormOf(
     const Query& q, FormEntry* scratch) {
-  // Keyed by the cheap order-sensitive hash of the *raw* query; a verbatim
-  // structural match (operator==, plus catalog identity) is required before
-  // a cached form is reused, so hash collisions cost a recanonicalization,
-  // never a wrong form.
-  uint64_t raw_hash = StructuralHash(q);
+  // Keyed by the cheap order-sensitive hash of the *raw* catalog-
+  // independent encoding; a verbatim encoding match is required before a
+  // cached canonical encoding is reused, so hash collisions cost a
+  // recanonicalization, never a wrong form. The raw encoding identifies
+  // the query across catalogs — no catalog pointer is consulted.
+  std::vector<uint64_t> raw = GlobalRawEncoding(q);
+  uint64_t raw_hash = HashWords(raw);
   Shard& shard = ShardFor(raw_hash);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -62,30 +64,30 @@ const ContainmentOracle::FormEntry& ContainmentOracle::FormOf(
       for (const std::unique_ptr<FormEntry>& e : it->second) {
         // Entries are heap-allocated and never evicted before Clear(), so
         // the reference stays valid after the lock is released.
-        if (e->raw.catalog() == q.catalog() && e->raw == q) return *e;
+        if (e->raw == raw) return *e;
       }
     }
   }
   // Canonicalization is the expensive step — run it outside the lock.
-  Query form = q.CanonicalForm();
-  uint64_t form_hash = StructuralHash(form);
+  std::vector<uint64_t> canon = GlobalCanonicalEncoding(q);
+  uint64_t canon_hash = HashWords(canon);
   std::lock_guard<std::mutex> lock(shard.mu);
   // Another thread may have inserted the same raw query while we
   // canonicalized; reuse its entry rather than growing the bucket.
   auto it = shard.forms.find(raw_hash);
   if (it != shard.forms.end()) {
     for (const std::unique_ptr<FormEntry>& e : it->second) {
-      if (e->raw.catalog() == q.catalog() && e->raw == q) return *e;
+      if (e->raw == raw) return *e;
     }
   }
   if (shard.form_entries >= per_shard_budget_) {
     // Past the budget: compute without caching (the form cache honours the
     // same entry budget as the decision cache).
-    *scratch = FormEntry{q, std::move(form), form_hash};
+    *scratch = FormEntry{std::move(raw), std::move(canon), canon_hash};
     return *scratch;
   }
-  auto entry =
-      std::make_unique<FormEntry>(FormEntry{q, std::move(form), form_hash});
+  auto entry = std::make_unique<FormEntry>(
+      FormEntry{std::move(raw), std::move(canon), canon_hash});
   const FormEntry& ref = *entry;
   shard.forms[raw_hash].push_back(std::move(entry));
   ++shard.form_entries;
@@ -99,9 +101,9 @@ Result<bool> ContainmentOracle::IsContainedIn(
   FormEntry sub_scratch, super_scratch;
   const FormEntry& sub_entry = FormOf(sub, &sub_scratch);
   const FormEntry& super_entry = FormOf(super, &super_scratch);
-  const Query& sub_form = sub_entry.form;
-  const Query& super_form = super_entry.form;
-  uint64_t key = PairKey(sub_entry.form_hash, super_entry.form_hash);
+  const std::vector<uint64_t>& sub_canon = sub_entry.canon;
+  const std::vector<uint64_t>& super_canon = super_entry.canon;
+  uint64_t key = PairKey(sub_entry.canon_hash, super_entry.canon_hash);
   Shard& shard = ShardFor(key);
 
   {
@@ -109,8 +111,7 @@ Result<bool> ContainmentOracle::IsContainedIn(
     auto it = shard.cache.find(key);
     if (it != shard.cache.end()) {
       for (const Entry& e : it->second) {
-        if (e.catalog == sub.catalog() && e.sub_form == sub_form &&
-            e.super_form == super_form) {
+        if (e.sub_canon == sub_canon && e.super_canon == super_canon) {
           shard.hits.fetch_add(1, std::memory_order_relaxed);
           return e.contained;
         }
@@ -133,8 +134,7 @@ Result<bool> ContainmentOracle::IsContainedIn(
   auto it = shard.cache.find(key);
   if (it != shard.cache.end()) {
     for (const Entry& e : it->second) {
-      if (e.catalog == sub.catalog() && e.sub_form == sub_form &&
-          e.super_form == super_form) {
+      if (e.sub_canon == sub_canon && e.super_canon == super_canon) {
         return decided;  // same pure decision; don't grow the bucket
       }
     }
@@ -142,8 +142,9 @@ Result<bool> ContainmentOracle::IsContainedIn(
   if (shard.entries >= per_shard_budget_) {
     shard.capacity_rejects.fetch_add(1, std::memory_order_relaxed);
   } else {
-    // Copies, not moves: the forms may live in (and stay in) the form cache.
-    Entry e{sub.catalog(), sub_form, super_form, decided.value()};
+    // Copies, not moves: the encodings may live in (and stay in) the form
+    // cache.
+    Entry e{sub_canon, super_canon, decided.value()};
     shard.cache[key].push_back(std::move(e));
     ++shard.entries;
     shard.inserts.fetch_add(1, std::memory_order_relaxed);

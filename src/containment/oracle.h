@@ -1,13 +1,19 @@
 /// \file
 /// Memoized containment oracle: the shared cache every rewriting engine
 /// routes its IsContainedIn / AreEquivalent calls through. Entries are
-/// keyed by 64-bit structural fingerprints of the (sub, super) canonical
-/// forms and confirmed by exact canonical-form comparison, so a cache hit
-/// is always sound — fingerprint collisions degrade to misses, never to
-/// wrong answers. Wire an oracle into a pipeline by setting
-/// ContainmentOptions::oracle; every call site that threads those options
-/// (minimization, candidate verification, subsumption pruning, the engine
-/// searches) then shares one cache.
+/// keyed by 64-bit hashes of the (sub, super) *catalog-independent
+/// canonical encodings* (GlobalCanonicalEncoding in cq/query.h) and
+/// confirmed by exact encoding comparison, so a cache hit is always sound
+/// — hash collisions degrade to misses, never to wrong answers. Because
+/// the encodings name predicates and constants by their process-global
+/// interned ids (cq/global_symbols.h) rather than catalog-local dense ids,
+/// entries carry no catalog pointer and survive the catalogs that produced
+/// them: one server-lifetime oracle soundly serves every short-lived
+/// per-connection catalog, and structurally-identical queries parsed into
+/// different catalogs hit each other's entries. Wire an oracle into a
+/// pipeline by setting ContainmentOptions::oracle; every call site that
+/// threads those options (minimization, candidate verification,
+/// subsumption pruning, the engine searches) then shares one cache.
 ///
 /// Thread safety: the oracle is internally sharded — both the form cache
 /// and the decision cache are sliced by fingerprint across `num_shards`
@@ -48,7 +54,7 @@ struct OracleStats {
   uint64_t inserts = 0;
   /// Results not cached because the shard's entry budget was full.
   uint64_t capacity_rejects = 0;
-  /// Bucket probes whose fingerprint matched but whose canonical-form
+  /// Bucket probes whose key hash matched but whose canonical-encoding
   /// confirmation failed (true 64-bit collisions or same-key distinct
   /// pairs) — the soundness guard firing.
   uint64_t confirm_failures = 0;
@@ -62,27 +68,33 @@ struct OracleStats {
 /// Counter-wise difference (for per-request deltas of a shared oracle).
 OracleStats operator-(const OracleStats& after, const OracleStats& before);
 
-/// \brief Memoizes containment decisions across a rewriting session, safely
-/// shareable across threads.
+/// \brief Memoizes containment decisions across a rewriting session — or a
+/// whole server lifetime — safely shareable across threads and across
+/// catalogs.
 ///
-/// The key of a (sub, super) pair combines Fingerprint(sub) and
-/// Fingerprint(super); each bucket holds the canonical forms of the pairs
-/// that produced it, so renamings and body reorderings of an already-decided
-/// pair hit without a new homomorphism search. Only OK results are cached —
-/// kResourceExhausted under one budget must stay retryable under another.
+/// The key of a (sub, super) pair combines the hashes of the two
+/// catalog-independent canonical encodings; each bucket holds the
+/// encodings of the pairs that produced it, so renamings, body
+/// reorderings, *and re-parses into fresh catalogs* of an already-decided
+/// pair hit without a new homomorphism search. Only OK results are cached
+/// — kResourceExhausted under one budget must stay retryable under
+/// another.
 ///
 /// Sharding: shard index = key >> (64 - log2(num_shards_rounded_up)), i.e.
-/// the top fingerprint bits slice both caches. With `num_shards == 1` (the
+/// the top key bits slice both caches. With `num_shards == 1` (the
 /// default) behavior — decisions, stats totals, capacity behavior — is
 /// identical to the pre-sharding single-threaded oracle. With N shards the
 /// entry budget is split evenly (ceil(max_entries / N) per shard), so
 /// capacity_rejects can differ across shard counts once a shard fills;
 /// decisions never differ (the cache is pure).
 ///
-/// Catalogs are identified by pointer: every Catalog whose queries pass
-/// through an oracle must outlive it (or be separated by a Clear()). A
-/// catalog destroyed and reallocated at the same address with different
-/// predicate meanings would otherwise match stale entries.
+/// Lifetime: entries reference no catalog (symbols appear as process-global
+/// interned ids), so catalogs may be created and destroyed freely while an
+/// oracle lives — the former catalogs-must-outlive-the-oracle contract is
+/// gone. Soundness across catalogs: equal canonical encodings imply the
+/// queries are isomorphic under the meaning-preserving symbol bijection
+/// ((name, arity) for predicates, source text for constants), and
+/// containment is invariant under that bijection.
 class ContainmentOracle {
  public:
   /// `max_entries` bounds total cache growth across all shards; past a
@@ -120,18 +132,22 @@ class ContainmentOracle {
   void Clear();
 
  private:
+  /// One memoized decision: the catalog-independent canonical encodings of
+  /// the pair (the confirmation key — plain word-vector equality, no
+  /// catalog pointer) and the cached verdict.
   struct Entry {
-    const Catalog* catalog;
-    Query sub_form;
-    Query super_form;
+    std::vector<uint64_t> sub_canon;
+    std::vector<uint64_t> super_canon;
     bool contained;
   };
 
+  /// One canonicalization memo: the verbatim (raw) encoding identifying
+  /// the exact input query, its canonical encoding, and the canonical
+  /// hash, cached so hits pay neither re-canonicalization nor re-hash.
   struct FormEntry {
-    Query raw;
-    Query form;
-    /// StructuralHash(form), cached so hits pay no re-hash.
-    uint64_t form_hash;
+    std::vector<uint64_t> raw;
+    std::vector<uint64_t> canon;
+    uint64_t canon_hash;
   };
 
   /// One lock domain: a slice of the form cache and of the decision cache,
@@ -152,17 +168,18 @@ class ContainmentOracle {
   };
 
   Shard& ShardFor(uint64_t key) const {
-    // Top bits: the fingerprints are well-mixed 64-bit hashes, and the
-    // low bits already pick the unordered_map bucket inside the shard.
+    // Top bits: the keys are well-mixed 64-bit hashes, and the low bits
+    // already pick the unordered_map bucket inside the shard.
     return *shards_[(key >> shard_shift_) & shard_mask_];
   }
 
-  /// Canonical form (plus its hash) of `q`, served from the sharded form
-  /// cache when the exact same query (verbatim structural match) was
-  /// canonicalized before — the common case for the fixed outer query and
-  /// for recurring expansions. The returned reference is stable until
-  /// Clear() (entries are heap-allocated and never evicted); past the
-  /// shard's entry budget the form is computed into `*scratch` instead.
+  /// Canonical encoding (plus its hash) of `q`, served from the sharded
+  /// form cache when the exact same query (verbatim raw-encoding match,
+  /// across any catalog) was canonicalized before — the common case for
+  /// the fixed outer query and for recurring expansions. The returned
+  /// reference is stable until Clear() (entries are heap-allocated and
+  /// never evicted); past the shard's entry budget the encoding is
+  /// computed into `*scratch` instead.
   const FormEntry& FormOf(const Query& q, FormEntry* scratch);
 
   std::vector<std::unique_ptr<Shard>> shards_;

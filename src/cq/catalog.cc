@@ -20,7 +20,8 @@ Result<PredId> Catalog::GetOrAddPredicate(std::string_view name, int arity,
     return existing;
   }
   PredId id = pred_names_.Intern(name);
-  preds_.push_back(PredInfo{std::string(name), arity, kind});
+  preds_.push_back(PredInfo{std::string(name), arity, kind,
+                            GlobalSymbols::Instance().PredKey(name, arity)});
   return id;
 }
 
@@ -38,6 +39,7 @@ ConstId Catalog::InternConstant(std::string_view text) {
   ConstId id = const_names_.Intern(text);
   ConstInfo info;
   info.name = std::string(text);
+  info.global = GlobalSymbols::Instance().ConstKey(text);
   int64_t value = 0;
   const char* begin = info.name.data();
   const char* end = begin + info.name.size();

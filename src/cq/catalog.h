@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cq/global_symbols.h"
 #include "cq/term.h"
 #include "util/interner.h"
 #include "util/status.h"
@@ -20,19 +21,24 @@ enum class PredKind : uint8_t {
   kIntensional = 1,
 };
 
-/// Metadata for one predicate symbol.
+/// Metadata for one predicate symbol. `global` is the process-wide id of
+/// the (name, arity) meaning (cq/global_symbols.h): equal across catalogs,
+/// the identity catalog-independent fingerprints hash.
 struct PredInfo {
   std::string name;
   int arity = 0;
   PredKind kind = PredKind::kExtensional;
+  GlobalId global = -1;
 };
 
 /// Metadata for one constant symbol. `numeric` is set when the constant was
 /// written as an integer literal; comparison predicates require numeric or
-/// symbolic consistency (see comparison_containment).
+/// symbolic consistency (see comparison_containment). `global` is the
+/// process-wide id of the source text (cq/global_symbols.h).
 struct ConstInfo {
   std::string name;
   std::optional<int64_t> numeric;
+  GlobalId global = -1;
 };
 
 /// \brief Symbol tables shared by every query, view, and database instance
@@ -57,6 +63,11 @@ class Catalog {
 
   const PredInfo& pred(PredId id) const { return preds_[id]; }
   int32_t num_predicates() const { return static_cast<int32_t>(preds_.size()); }
+
+  /// Process-global id of predicate `id`'s meaning (name, arity).
+  GlobalId pred_global(PredId id) const { return preds_[id].global; }
+  /// Process-global id of constant `id`'s meaning (source text).
+  GlobalId const_global(ConstId id) const { return consts_[id].global; }
 
   /// Interns a symbolic or numeric constant by its source text. Text that
   /// parses entirely as a (possibly negative) decimal integer becomes a

@@ -1,0 +1,37 @@
+#include "cq/global_symbols.h"
+
+namespace aqv {
+
+GlobalSymbols& GlobalSymbols::Instance() {
+  // Function-local static: constructed on first use, never destroyed
+  // before the last catalog (no static-destruction-order hazard — trivial
+  // members aside from the map, and nothing interns during teardown).
+  static GlobalSymbols* instance = new GlobalSymbols();
+  return *instance;
+}
+
+GlobalId GlobalSymbols::PredKey(std::string_view name, int arity) {
+  // Key shape "p/<arity>/<name>": arity first so a name used at two
+  // arities yields two meanings; the 'p' prefix keeps predicates and
+  // constants in disjoint key spaces within one map.
+  std::string key = "p/" + std::to_string(arity) + "/" + std::string(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      ids_.emplace(std::move(key), static_cast<GlobalId>(ids_.size()));
+  return it->second;
+}
+
+GlobalId GlobalSymbols::ConstKey(std::string_view text) {
+  std::string key = "c/" + std::string(text);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      ids_.emplace(std::move(key), static_cast<GlobalId>(ids_.size()));
+  return it->second;
+}
+
+size_t GlobalSymbols::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ids_.size();
+}
+
+}  // namespace aqv

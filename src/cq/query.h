@@ -134,6 +134,44 @@ class Query {
 /// already hold a canonical form use this to avoid re-canonicalizing.
 uint64_t StructuralHash(const Query& q);
 
+// --- catalog-independent encodings ----------------------------------------
+//
+// The identity layer shared server-lifetime caches key on: flat word
+// sequences in which every predicate and constant appears as its
+// process-global id (cq/global_symbols.h) instead of its catalog-local
+// dense id. Two queries parsed into *different* catalogs from the same
+// surface text produce identical encodings, so a cache keyed on them is
+// shared across the short-lived per-connection catalogs of the frontend
+// server — and entry confirmation is plain vector equality, with no
+// catalog pointer (and hence no catalog-lifetime contract) involved.
+// Equal canonical encodings imply the queries are isomorphic under the
+// meaning-preserving symbol bijection, so every containment decision, and
+// every rewriting over equally-encoded view sets, transfers exactly.
+
+/// Verbatim (order- and renaming-sensitive) catalog-independent encoding:
+/// head, body atoms in input order, comparisons in input order, variable
+/// ids as-is, symbols as global ids. The analogue of operator== across
+/// catalogs: equal raw encodings imply globally-identical structure.
+std::vector<uint64_t> GlobalRawEncoding(const Query& q);
+
+/// Canonical catalog-independent encoding: colour-refinement normalization
+/// exactly parallel to CanonicalForm() — body atoms sorted (by global-id
+/// keys), exact duplicates dropped, variables renumbered densely by first
+/// appearance — emitted as a flat word sequence. Equal encodings imply
+/// isomorphic queries (up to duplicate atoms) with identical predicate
+/// meanings and constants; the converse is best-effort, as for
+/// CanonicalForm — a miss, never a wrong match.
+std::vector<uint64_t> GlobalCanonicalEncoding(const Query& q);
+
+/// FNV-1a over an encoding's words (the cache-key hash for either
+/// encoding flavor).
+uint64_t HashWords(const std::vector<uint64_t>& words);
+
+/// The renaming-invariant catalog-independent 64-bit fingerprint:
+/// HashWords(GlobalCanonicalEncoding(q)). The cross-catalog analogue of
+/// Query::Fingerprint(), with the same confirm-before-trusting contract.
+uint64_t GlobalFingerprint(const Query& q);
+
 /// \brief A union of conjunctive queries with a common head predicate.
 ///
 /// The output representation for maximally-contained rewritings (Bucket,

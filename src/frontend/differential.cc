@@ -178,6 +178,7 @@ bool MirrorChecker::IsCheckable(std::string_view command) {
   if (first.empty() || first[0] == '%' || first[0] == '#') return false;
   if (command == "STATS" || first == "load") return false;
   if (first == "save" || first == "open") return false;
+  if (first == "auth") return false;  // server-boundary, no mirror analogue
   if (first == "show" && SecondWord(command) == "stats") return false;
   return true;
 }
@@ -185,6 +186,13 @@ bool MirrorChecker::IsCheckable(std::string_view command) {
 std::optional<Divergence> MirrorChecker::Check(const std::string& command,
                                                const std::string& raw_response) {
   std::string_view first_word = FirstWord(command);
+  if (first_word == "auth") {
+    // Authentication is handled at the server boundary, before any
+    // session sees the line; the mirror session must not execute it (it
+    // would count a command the server session never saw).
+    ++index_;
+    return std::nullopt;
+  }
   if (first_word == "save" || first_word == "open") {
     // The mirror never touches disk. Skipping save/open entirely keeps it
     // in lock-step anyway: mutations are journaled as they run, so a

@@ -94,9 +94,11 @@ class MirrorChecker {
 
   /// True when `command` participates in checking: excludes blank lines
   /// and comments (nothing to say), `show stats` and its `STATS` wire
-  /// alias (timings are nondeterministic), and `load` (filesystem).
+  /// alias (timings are nondeterministic), `load` (filesystem), and
+  /// `auth` (answered at the server boundary; no mirror analogue).
   /// Non-checkable commands are still executed on the mirror so state
-  /// stays in lock-step.
+  /// stays in lock-step (`auth` and save/open are additionally not
+  /// executed there — see Check).
   static bool IsCheckable(std::string_view command);
 
   /// Executes `command` on the mirror and compares `raw_response` — the
@@ -113,9 +115,10 @@ class MirrorChecker {
   uint64_t rewrites_checked() const { return rewrites_checked_; }
 
  private:
-  /// Declared before session_: the session's retired catalogs must
-  /// outlive the oracle per the containment/oracle.h lifetime contract
-  /// (members destroy in reverse order, so session_ dies first).
+  /// The mirror's own single-shard oracle. Declaration order vs the
+  /// session no longer matters: oracle entries are catalog-independent
+  /// (containment/oracle.h), so neither side constrains the other's
+  /// lifetime.
   ContainmentOracle oracle_;
   Session session_;
   int index_ = 0;

@@ -80,6 +80,38 @@ CommandResult Fail(Status status) {
   return r;
 }
 
+/// Every engine knob that can change a rewrite's output, rendered as a
+/// deterministic comma-joined number list — the options component of the
+/// plan-cache key. The oracle pointer is deliberately excluded: the oracle
+/// is a pure cache, so which one (if any) is attached never changes the
+/// payload.
+std::string EngineOptionsDigest(const EngineOptions& o) {
+  std::string d;
+  auto add = [&](auto v) {
+    d += std::to_string(v);
+    d += ',';
+  };
+  add(o.containment.node_budget);
+  add(o.containment.linearization_cap);
+  add(o.lmss.candidates.node_budget);
+  add(o.lmss.candidates.max_candidates);
+  add(o.lmss.candidates.max_homs_per_view);
+  add(o.lmss.max_rewriting_atoms);
+  add(o.lmss.max_rewritings);
+  add(o.lmss.max_subsets);
+  add(o.lmss.extend_beyond_cover);
+  add(o.lmss.allow_base_atoms);
+  add(o.lmss.allow_trivial);
+  add(o.bucket.max_combinations);
+  add(o.bucket.require_equivalent);
+  add(o.bucket.prune_subsumed);
+  add(o.bucket.max_enrichments_per_combination);
+  add(o.minicon.max_combinations);
+  add(o.minicon.verify_candidates);
+  add(o.minicon.prune_subsumed);
+  return d;
+}
+
 CommandResult Say(std::string output) {
   CommandResult r;
   r.output = std::move(output);
@@ -400,6 +432,17 @@ CommandResult Session::CmdShow(const std::string& rest) {
                            " inserts=" + std::to_string(os.inserts) +
                            " hit_rate=" + rate);
     }
+    if (options_.plan_cache != nullptr) {
+      PlanCacheStats ps = options_.plan_cache->stats();
+      char rate[16];
+      std::snprintf(rate, sizeof(rate), "%.2f", ps.hit_rate());
+      AppendLine(&out, "plan_cache: hits=" + std::to_string(ps.hits) +
+                           " misses=" + std::to_string(ps.misses) +
+                           " inserts=" + std::to_string(ps.inserts) +
+                           " size=" +
+                           std::to_string(options_.plan_cache->size()) +
+                           " hit_rate=" + rate);
+    }
     if (options_.service != nullptr) {
       ServiceStats ss = options_.service->lifetime_stats();
       AppendLine(&out, "service: requests=" + std::to_string(ss.requests) +
@@ -429,7 +472,7 @@ Result<RewriteResponse> Session::RunRewrite(const std::string& engine_name) {
   request.query = *query_;
   request.views = &views_;
   request.options = options_.engine;
-  if (options_.service != nullptr) {
+  if (options_.service != nullptr && !options_.dispatch_inline) {
     ServiceRequest job;
     job.engine = engine_name;
     job.request = std::move(request);
@@ -454,7 +497,7 @@ Result<AnswerResponse> Session::RunAnswer(AnswerRoute route,
   request.options = options_.engine;
   request.eval = options_.eval;
   request.planner = options_.planner;
-  if (options_.service != nullptr) {
+  if (options_.service != nullptr && !options_.dispatch_inline) {
     AQV_ASSIGN_OR_RETURN(uint64_t ticket,
                          options_.service->SubmitAnswer(std::move(request)));
     AQV_ASSIGN_OR_RETURN(AnswerServiceResponse response,
@@ -475,6 +518,27 @@ CommandResult Session::CmdRewrite(const std::string& rest) {
   }
   Status ready = Ready(/*needs_views=*/true);
   if (!ready.ok()) return Fail(std::move(ready));
+  // Shared plan cache: the key is the complete problem statement (engine,
+  // options digest, rendered query and views), so a hit is byte-identical
+  // to what recomputation would print and schema mutations miss naturally.
+  std::string cache_key;
+  if (options_.plan_cache != nullptr) {
+    std::string query_text;
+    for (const Query& d : query_->disjuncts) {
+      AppendLine(&query_text, d.ToString());
+    }
+    std::string views_text;
+    for (const View& v : views_.views()) {
+      AppendLine(&views_text, v.definition.ToString());
+    }
+    cache_key = RewritePlanCache::MakeKey(
+        engine, EngineOptionsDigest(options_.engine), query_text, views_text);
+    if (std::optional<RewritePlanCache::Plan> plan =
+            options_.plan_cache->Lookup(cache_key)) {
+      last_rewrite_ = plan->stats;
+      return Say(std::move(plan->rendered));
+    }
+  }
   auto response = RunRewrite(engine);
   if (!response.ok()) return Fail(response.status());
   last_rewrite_ = response->stats;
@@ -484,6 +548,10 @@ CommandResult Session::CmdRewrite(const std::string& rest) {
                     std::to_string(response->rewritings.size());
   for (const Query& rw : response->rewritings.disjuncts) {
     AppendLine(&out, "  " + rw.ToString());
+  }
+  if (options_.plan_cache != nullptr) {
+    options_.plan_cache->Insert(cache_key,
+                                RewritePlanCache::Plan{out, last_rewrite_});
   }
   return Say(std::move(out));
 }
@@ -567,12 +635,15 @@ CommandResult Session::CmdReset() {
   if (was_attached && !replaying_journal_) {
     journal = store_->Append("reset");
   }
-  // Retire, don't free: an attached oracle may hold entries keyed by the
-  // old catalog's address (see retired_catalogs_).
-  retired_catalogs_.push_back(std::move(catalog_));
+  // The old catalog may die with the command: oracle entries are keyed by
+  // catalog-independent global encodings (containment/oracle.h), so no
+  // shared cache holds a pointer into it. Keep it alive only until base_
+  // (which references it) is replaced below.
+  std::unique_ptr<Catalog> old_catalog = std::move(catalog_);
   catalog_ = std::make_unique<Catalog>();
   views_ = ViewSet();
   base_ = Database(catalog_.get());
+  old_catalog.reset();
   query_.reset();
   last_rewrite_ = RewriteStats{};
   if (was_attached && !replaying_journal_) {
@@ -698,11 +769,12 @@ CommandResult Session::CmdOpen(const std::string& rest) {
     q.disjuncts = std::move(*rules);
     query = std::move(q);
   }
-  // Commit: adopt the recovered problem (retiring the old catalog for
-  // the oracle contract) and replay the journal tail through the normal
-  // dispatcher with re-journaling suppressed.
+  // Commit: adopt the recovered problem and replay the journal tail
+  // through the normal dispatcher with re-journaling suppressed. The old
+  // catalog dies here — shared caches key by global encodings, not
+  // catalog pointers — but must outlive base_'s replacement below.
   if (incoming != nullptr) store_ = std::move(incoming);
-  retired_catalogs_.push_back(std::move(catalog_));
+  std::unique_ptr<Catalog> old_catalog = std::move(catalog_);
   catalog_ = std::move(state.catalog);
   views_ = std::move(views);
   base_ = std::move(state.base);

@@ -30,6 +30,7 @@
 #include "eval/evaluator.h"
 #include "rewriting/engine.h"
 #include "rewriting/planner.h"
+#include "service/plan_cache.h"
 #include "service/service.h"
 #include "storage/store.h"
 #include "util/status.h"
@@ -76,6 +77,19 @@ struct SessionOptions {
   /// blocks for its own result, so command semantics are unchanged. The
   /// pointee must outlive the session.
   RewriteService* service = nullptr;
+  /// When true with `service` set, rewrite/answer run inline (on the
+  /// calling thread) while `show stats` still surfaces the service. The
+  /// epoll server sets this: its commands already execute *on* pool
+  /// workers as generic tasks, and a worker submitting a nested job and
+  /// blocking on it could deadlock the pool. Pair with
+  /// `engine.oracle = &service->oracle()` to keep sharing the cache.
+  bool dispatch_inline = false;
+  /// When set, `rewrite` consults and populates this shared rewriting-plan
+  /// cache (service/plan_cache.h): an exact repeat of (engine, options,
+  /// query text, views text) — across this or any other session sharing
+  /// the cache — is answered byte-identically without an engine run. The
+  /// pointee must outlive the session.
+  RewritePlanCache* plan_cache = nullptr;
   /// `load` reads files from the process's filesystem; transports serving
   /// remote clients (frontend/server.h) disable it.
   bool enable_load = true;
@@ -158,11 +172,6 @@ class Session {
 
   SessionOptions options_;
   std::unique_ptr<Catalog> catalog_;
-  /// Catalogs retired by `reset`, kept alive for the session's lifetime:
-  /// an attached ContainmentOracle identifies catalogs by pointer, so a
-  /// freed catalog whose address gets reused could match stale cache
-  /// entries (the contract in containment/oracle.h).
-  std::vector<std::unique_ptr<Catalog>> retired_catalogs_;
   ViewSet views_;
   Database base_;
   std::optional<UnionQuery> query_;

@@ -1,0 +1,135 @@
+/// \file
+/// Server-lifetime rewriting-plan cache: memoizes the *rendered outcome* of
+/// a rewrite command — the exact payload text the frontend writes to the
+/// wire, plus the engine counters of the run that produced it — keyed by
+/// the complete problem statement. A key embeds the engine name, a digest
+/// of every numeric engine option, and the verbatim rendered text of the
+/// query and of every view in scope, so:
+///
+///   - a hit is byte-identical to recomputation: deterministic engines are
+///     pure functions of (engine, options, query text, views text), which
+///     is exactly the key — two sessions whose problems render identically
+///     get identical payloads whether served from cache or computed;
+///   - schema mutations invalidate implicitly: adding, dropping (reset),
+///     or reloading views changes the views text, hence the key, hence
+///     stale plans can never be returned — they merely age out of the
+///     budget.
+///
+/// Thread safety: sharded like the ContainmentOracle — key hash picks the
+/// shard, each shard has its own mutex and slice of the entry budget; any
+/// number of sessions may Lookup/Insert concurrently. Stats counters are
+/// relaxed atomics. Clear() and ResetStats() must not race lookups.
+///
+/// This cache complements (not replaces) the ContainmentOracle: the oracle
+/// memoizes the NP-hard containment subproblems across *all* traffic; the
+/// plan cache short-circuits the entire engine search for exact repeats —
+/// the dominant pattern of a dashboard or retry loop re-issuing one query.
+
+#ifndef AQV_SERVICE_PLAN_CACHE_H_
+#define AQV_SERVICE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rewriting/engine.h"
+
+namespace aqv {
+
+/// Hit/miss counters of one RewritePlanCache (plain-value snapshot).
+struct PlanCacheStats {
+  /// Lookups answered from the cache.
+  uint64_t hits = 0;
+  /// Lookups that fell through to a real engine run.
+  uint64_t misses = 0;
+  /// Plans added to the cache.
+  uint64_t inserts = 0;
+  /// Plans not cached because the shard's entry budget was full.
+  uint64_t capacity_rejects = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    return lookups() == 0 ? 0.0 : static_cast<double>(hits) / lookups();
+  }
+};
+
+/// \brief Sharded map from a rendered problem statement to its verified
+/// rewriting payload.
+class RewritePlanCache {
+ public:
+  /// One memoized rewrite outcome.
+  struct Plan {
+    /// The exact command payload (everything before the "ok" terminator)
+    /// the populating run rendered.
+    std::string rendered;
+    /// Engine counters of the populating run, replayed into the session's
+    /// last-rewrite stats so `show stats` stays meaningful on hits.
+    RewriteStats stats;
+  };
+
+  /// `max_entries` bounds total cached plans across all shards; past a
+  /// shard's slice, Insert becomes a counted no-op. `num_shards` is
+  /// clamped to [1, 256] and rounded up to a power of two.
+  explicit RewritePlanCache(size_t max_entries = size_t{1} << 16,
+                            size_t num_shards = 8);
+
+  RewritePlanCache(const RewritePlanCache&) = delete;
+  RewritePlanCache& operator=(const RewritePlanCache&) = delete;
+
+  /// Builds the canonical cache key for a problem statement. `views_text`
+  /// must render every view in scope (order-sensitive — the session's
+  /// definition order is deterministic); `options_digest` must cover every
+  /// option that can change engine output (see Session's digest builder).
+  static std::string MakeKey(const std::string& engine,
+                             const std::string& options_digest,
+                             const std::string& query_text,
+                             const std::string& views_text);
+
+  /// The cached plan for `key`, or nullopt (counting a hit or miss).
+  std::optional<Plan> Lookup(const std::string& key);
+
+  /// Caches `plan` under `key` unless the shard is at budget or the key is
+  /// already present (first writer wins; identical keys imply identical
+  /// plans, so dropping the duplicate is sound).
+  void Insert(const std::string& key, Plan plan);
+
+  /// Aggregated snapshot of the per-shard counters.
+  PlanCacheStats stats() const;
+  /// Zeroes the counters. Must not race concurrent lookups.
+  void ResetStats();
+
+  /// Number of cached plans (summed across shards).
+  size_t size() const;
+  size_t max_entries() const { return max_entries_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Drops all plans (stats kept). Must not race concurrent lookups.
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Plan> plans;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> capacity_rejects{0};
+  };
+
+  Shard& ShardFor(const std::string& key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t max_entries_;
+  size_t per_shard_budget_;
+  uint64_t shard_mask_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_SERVICE_PLAN_CACHE_H_

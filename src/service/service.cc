@@ -52,28 +52,37 @@ RewriteService::~RewriteService() {
 void RewriteService::WorkerLoop() {
   Job job;
   while (queue_.Pop(&job)) {
-    bool ok = false;
+    // Completion counters are bumped *before* the result is delivered
+    // (before the done-map insert, or before a generic task's body — the
+    // body is its delivery): anything sequenced after collecting a result,
+    // like a later pipelined command rendering lifetime_stats(), must
+    // already see this job counted, or exact-count observers would race
+    // the increment.
     if (std::holds_alternative<ServiceRequest>(job.request)) {
       ServiceResponse resp = ExecuteRewrite(job);
-      ok = resp.status.ok();
+      Count(resp.status.ok());
       {
         std::lock_guard<std::mutex> lock(results_mu_);
         pending_.erase(job.ticket);
         done_.emplace(job.ticket, std::move(resp));
       }
-    } else {
+    } else if (std::holds_alternative<AnswerRequest>(job.request)) {
       AnswerServiceResponse resp = ExecuteAnswer(job);
-      ok = resp.status.ok();
+      Count(resp.status.ok());
       {
         std::lock_guard<std::mutex> lock(results_mu_);
         pending_.erase(job.ticket);
         done_answers_.emplace(job.ticket, std::move(resp));
       }
-    }
-    if (ok) {
-      completed_ok_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      completed_failed_.fetch_add(1, std::memory_order_relaxed);
+      // Generic task: it delivers its own result; nothing lands in a done
+      // map (Wait on this ticket reports kNotFound, as documented).
+      Count(true);
+      std::get<std::function<void()>>(job.request)();
+      {
+        std::lock_guard<std::mutex> lock(results_mu_);
+        pending_.erase(job.ticket);
+      }
     }
     result_ready_.notify_all();
   }
@@ -145,6 +154,14 @@ Result<uint64_t> RewriteService::SubmitAnswer(AnswerRequest request) {
   Job job;
   job.request = std::move(request);
   return Enqueue(std::move(job));
+}
+
+Status RewriteService::SubmitTask(std::function<void()> task) {
+  Job job;
+  job.request = std::move(task);
+  Result<uint64_t> ticket = Enqueue(std::move(job));
+  if (!ticket.ok()) return ticket.status();
+  return Status::OK();
 }
 
 template <typename Response>

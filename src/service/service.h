@@ -1,9 +1,11 @@
 /// \file
 /// The concurrent batch service: a fixed pool of worker threads executing
-/// two kinds of jobs — RewriteRequests through the unified engine layer
-/// (rewriting/engine.h) and AnswerRequests through the end-to-end
-/// answering pipeline (answering/answering.h) — all sharing one sharded
-/// thread-safe ContainmentOracle (containment/oracle.h). Per-request
+/// three kinds of jobs — RewriteRequests through the unified engine layer
+/// (rewriting/engine.h), AnswerRequests through the end-to-end answering
+/// pipeline (answering/answering.h), and opaque generic tasks
+/// (SubmitTask: the frontend server runs whole parsed commands as tasks,
+/// delivering results through its own completion queue) — all sharing one
+/// sharded thread-safe ContainmentOracle (containment/oracle.h). Per-request
 /// latency has a hard floor — the underlying problems are NP-complete
 /// (LMSS95 Thms 3.1/3.3) — so the service buys throughput, not latency:
 /// parallel execution across requests plus cross-request containment
@@ -31,6 +33,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -178,6 +181,14 @@ class RewriteService {
   /// for answering tickets).
   [[nodiscard]] Result<uint64_t> SubmitAnswer(AnswerRequest request);
 
+  /// Fire-and-forget third job kind: runs `task` on a pool worker. There
+  /// is no collection API — the task delivers its own result (the epoll
+  /// frontend pushes completions to its event loop); Wait/WaitAnswer on a
+  /// task's ticket report kNotFound. Tasks count in lifetime_stats
+  /// (requests/ok) like any other job. The only failure is submission
+  /// during shutdown; accepted tasks always run (the destructor drains).
+  [[nodiscard]] Status SubmitTask(std::function<void()> task);
+
   /// Blocks until the ticket's response is ready, then hands it over
   /// (each ticket can be collected exactly once). kNotFound for tickets
   /// never issued, already collected, or submitted as the other job kind.
@@ -204,13 +215,22 @@ class RewriteService {
   struct Job {
     uint64_t ticket = 0;
     /// Exactly one payload per job; the alternative is the job kind.
-    std::variant<ServiceRequest, AnswerRequest> request;
+    std::variant<ServiceRequest, AnswerRequest, std::function<void()>> request;
   };
 
   void WorkerLoop();
   ServiceResponse ExecuteRewrite(Job& job);
   AnswerServiceResponse ExecuteAnswer(Job& job);
   [[nodiscard]] Result<uint64_t> Enqueue(Job job);
+  /// Bumps the lifetime completion counters; called by workers before a
+  /// job's result is delivered (see WorkerLoop for why before).
+  void Count(bool ok) {
+    if (ok) {
+      completed_ok_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      completed_failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 
   /// Shared implementation of Wait/WaitAnswer and TryWait/TryWaitAnswer:
   /// the subtle wake-and-kNotFound predicate lives here once, per done

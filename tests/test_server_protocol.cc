@@ -1,0 +1,530 @@
+// Adversarial protocol tests of the epoll frontend server
+// (frontend/server.h): hostile wire shapes — whole scripts pipelined into
+// one write, byte-at-a-time slow-loris sends, partial lines abandoned by
+// disconnects, RST aborts mid-response — plus the operational edges:
+// connection-cap refusal and recovery, idle-timeout sweeps, STATS under
+// concurrent load, pipelined `quit` cutting off later commands, the
+// auth/permission gate (handshake ordering, bad credentials, read-only
+// refusal, tenant isolation), and the Stop()-mid-write drain contract.
+// Wherever responses are deterministic they are byte-compared against an
+// inline Session rendered through RenderWireResponse — the server must be
+// invisible as a transport. CI additionally runs this binary under
+// ThreadSanitizer (the tsan-service job).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "frontend/differential.h"
+#include "frontend/server.h"
+#include "frontend/session.h"
+#include "gtest/gtest.h"
+
+namespace aqv {
+namespace {
+
+int ConnectTo(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  EXPECT_EQ(rc, 0) << std::strerror(errno);
+  return fd;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+/// Reads until the peer closes (EOF) or errors.
+std::string RecvUntilEof(int fd) {
+  std::string received;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    received.append(buf, static_cast<size_t>(n));
+  }
+  return received;
+}
+
+bool IsTerminator(const std::string& line) {
+  return line == "ok" || line.rfind("err ", 0) == 0;
+}
+
+size_t CountTerminators(const std::string& stream) {
+  size_t count = 0;
+  size_t scanned = 0;
+  size_t nl;
+  while ((nl = stream.find('\n', scanned)) != std::string::npos) {
+    if (IsTerminator(stream.substr(scanned, nl - scanned))) ++count;
+    scanned = nl + 1;
+  }
+  return count;
+}
+
+/// Reads until `expected_terminators` terminator lines arrived (or EOF).
+std::string RecvResponses(int fd, size_t expected_terminators) {
+  std::string received;
+  size_t terminators = 0;
+  size_t scanned = 0;
+  char buf[4096];
+  while (terminators < expected_terminators) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    received.append(buf, static_cast<size_t>(n));
+    size_t nl;
+    while ((nl = received.find('\n', scanned)) != std::string::npos) {
+      if (IsTerminator(received.substr(scanned, nl - scanned))) ++terminators;
+      scanned = nl + 1;
+    }
+  }
+  return received;
+}
+
+std::string Roundtrip(int port, const std::vector<std::string>& commands) {
+  int fd = ConnectTo(port);
+  std::string request;
+  for (const std::string& c : commands) request += c + "\n";
+  SendAll(fd, request);
+  std::string received = RecvResponses(fd, commands.size());
+  ::close(fd);
+  return received;
+}
+
+/// The inline-Session ground truth for `commands`: what the server must
+/// send byte for byte (session options mirror the server's template —
+/// load disabled, everything else default). Stops after `quit`, exactly
+/// as the server does.
+std::string GroundTruth(const std::vector<std::string>& commands) {
+  SessionOptions options;
+  options.enable_load = false;
+  Session session(options);
+  std::string expected;
+  for (const std::string& c : commands) {
+    CommandResult result = session.Execute(c);
+    expected += RenderWireResponse(result);
+    if (result.quit) break;
+  }
+  return expected;
+}
+
+/// A deterministic mixed script: mutations, probes, and errors.
+const std::vector<std::string> kMixedScript = {
+    "view v(X, Y) :- edge(X, Y), checked(Y).",
+    "view w(X) :- checked(X).",
+    "query q(X, Z) :- edge(X, Y), checked(Y), edge(Y, Z).",
+    "fact edge(1, 2).",
+    "fact checked(2).",
+    "fact edge(2, 3).",
+    "show views",
+    "show facts",
+    "rewrite with lmss",
+    "rewrite with minicon",
+    "answer route direct",
+    "answer route complete",
+    "bogus command",
+    "view broken(",
+    "explain",
+    "quit"};
+
+// --- hostile framing ---------------------------------------------------
+
+TEST(ServerProtocolTest, PipelinedScriptInOneWriteMatchesGroundTruth) {
+  FrontendServer server;
+  ASSERT_TRUE(server.Start().ok());
+  std::string expected = GroundTruth(kMixedScript);
+  int fd = ConnectTo(server.port());
+  std::string request;
+  for (const std::string& c : kMixedScript) request += c + "\n";
+  SendAll(fd, request);  // the whole session in a single write
+  std::string received = RecvUntilEof(fd);  // quit closes: read to EOF
+  ::close(fd);
+  EXPECT_EQ(received, expected);
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, SlowLorisByteAtATimeMatchesGroundTruth) {
+  FrontendServer server;
+  ASSERT_TRUE(server.Start().ok());
+  const std::vector<std::string> script = {
+      "view v(X) :- e(X).", "fact e(1).", "show views", "quit"};
+  std::string expected = GroundTruth(script);
+  int fd = ConnectTo(server.port());
+  std::string request;
+  for (const std::string& c : script) request += c + "\n";
+  // One byte per send: every line crosses many reads, and the carry
+  // buffer reassembles each of them.
+  for (char byte : request) {
+    SendAll(fd, std::string(1, byte));
+    if (byte == '\n') {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::string received = RecvUntilEof(fd);
+  ::close(fd);
+  EXPECT_EQ(received, expected);
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, PartialLineDisconnectLeavesServerHealthy) {
+  FrontendServer server;
+  ASSERT_TRUE(server.Start().ok());
+  // A client abandons an unterminated line. No response is owed for it
+  // (the command never completed), and the server must carry on serving.
+  {
+    int fd = ConnectTo(server.port());
+    SendAll(fd, "show vi");  // no newline, ever
+    ::shutdown(fd, SHUT_WR);
+    std::string received = RecvUntilEof(fd);
+    EXPECT_EQ(received, "");
+    ::close(fd);
+  }
+  // Completed lines pipelined *before* the abandoned fragment still get
+  // their responses flushed on half-close.
+  {
+    int fd = ConnectTo(server.port());
+    SendAll(fd, "help\nshow vi");
+    ::shutdown(fd, SHUT_WR);
+    std::string received = RecvUntilEof(fd);
+    EXPECT_EQ(received, GroundTruth({"help"}));
+    ::close(fd);
+  }
+  std::string after = Roundtrip(server.port(), {"help", "quit"});
+  EXPECT_NE(after.find("commands:"), std::string::npos);
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, AbruptResetMidResponseLeavesServerHealthy) {
+  FrontendServer server;
+  ASSERT_TRUE(server.Start().ok());
+  // Pipeline enough output to outrun the client, then RST the connection
+  // (SO_LINGER{on, 0} turns close() into an abort) while the server is
+  // still writing. The write error must only kill that connection.
+  for (int round = 0; round < 4; ++round) {
+    int fd = ConnectTo(server.port());
+    std::string request;
+    for (int i = 0; i < 64; ++i) request += "help\n";
+    SendAll(fd, request);
+    char buf[512];
+    (void)::recv(fd, buf, sizeof(buf), 0);  // a taste, then slam the door
+    linger hard{};
+    hard.l_onoff = 1;
+    hard.l_linger = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    ::close(fd);
+  }
+  std::string after = Roundtrip(server.port(), {"help", "quit"});
+  EXPECT_NE(after.find("commands:"), std::string::npos);
+  server.Stop();
+}
+
+// --- operational limits ------------------------------------------------
+
+TEST(ServerProtocolTest, ConnectionCapRefusesWithExactErrorAndRecovers) {
+  ServerOptions options;
+  options.max_connections = 2;
+  FrontendServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Fill the cap with two live connections (a served command proves each
+  // is registered, not merely in the accept queue).
+  int held_a = ConnectTo(server.port());
+  SendAll(held_a, "show views\n");
+  EXPECT_EQ(RecvResponses(held_a, 1), "(none)\nok\n");
+  int held_b = ConnectTo(server.port());
+  SendAll(held_b, "show views\n");
+  EXPECT_EQ(RecvResponses(held_b, 1), "(none)\nok\n");
+
+  // The third connection is refused with the documented terminator and
+  // closed immediately.
+  int refused = ConnectTo(server.port());
+  EXPECT_EQ(RecvUntilEof(refused),
+            "err ResourceExhausted: connection limit (2) reached\n");
+  ::close(refused);
+
+  // Releasing a slot restores service (the close needs an event-loop trip
+  // to be observed, so poll until a fresh connection is served).
+  SendAll(held_a, "quit\n");
+  EXPECT_EQ(RecvUntilEof(held_a), "ok\n");
+  ::close(held_a);
+  std::string response;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    response = Roundtrip(server.port(), {"help", "quit"});
+    if (response.find("commands:") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(response.find("commands:"), std::string::npos);
+
+  ::close(held_b);
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, IdleConnectionsAreClosedByTheTimeoutSweep) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  FrontendServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectTo(server.port());
+  auto t0 = std::chrono::steady_clock::now();
+  std::string received = RecvUntilEof(fd);  // server closes, no verdict line
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(received, "");
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, ActiveConnectionSurvivesTheIdleTimeout) {
+  ServerOptions options;
+  options.idle_timeout_ms = 300;
+  FrontendServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectTo(server.port());
+  // Gaps under the timeout, total well over it: activity must keep
+  // resetting the idle clock.
+  for (int i = 0; i < 8; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    SendAll(fd, "show views\n");
+    ASSERT_EQ(RecvResponses(fd, 1), "(none)\nok\n") << "iteration " << i;
+  }
+  SendAll(fd, "quit\n");
+  EXPECT_EQ(RecvUntilEof(fd), "ok\n");
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, StatsUnderConcurrentLoadStaysWellFormed) {
+  ServerOptions options;
+  options.service.num_workers = 4;
+  FrontendServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const std::vector<std::string> script = {
+      "view v(X) :- e(X).", "fact e(1).", "query q(X) :- e(X).",
+      "rewrite",            "STATS",      "quit"};
+  constexpr int kClients = 6;
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back(
+        [&, i] { responses[i] = Roundtrip(server.port(), script); });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    // STATS content races with the other clients, but every response must
+    // be complete and framed: one terminator per command, all counters
+    // present, never an error.
+    EXPECT_EQ(CountTerminators(responses[i]), script.size()) << "client " << i;
+    EXPECT_NE(responses[i].find("service: requests="), std::string::npos);
+    EXPECT_NE(responses[i].find("oracle: hits="), std::string::npos);
+    EXPECT_NE(responses[i].find("plan_cache: hits="), std::string::npos);
+    EXPECT_EQ(responses[i].find("err "), std::string::npos) << responses[i];
+  }
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, PipelinedQuitStopsProcessingLaterCommands) {
+  FrontendServer server;
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectTo(server.port());
+  // Everything after `quit` must be discarded, not executed: exactly two
+  // responses, then EOF.
+  SendAll(fd, "show views\nquit\nview v(X) :- e(X).\nshow views\n");
+  std::string received = RecvUntilEof(fd);
+  ::close(fd);
+  EXPECT_EQ(received, GroundTruth({"show views", "quit"}));
+  EXPECT_EQ(CountTerminators(received), 2u);
+  server.Stop();
+}
+
+// --- auth / permissions ------------------------------------------------
+
+ServerOptions TwoTenantOptions() {
+  ServerOptions options;
+  options.accounts = {{"alice", "s3cret", true}, {"bob", "hunter2", true}};
+  return options;
+}
+
+TEST(ServerProtocolTest, CommandsBeforeAuthAreRefused) {
+  FrontendServer server(TwoTenantOptions());
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectTo(server.port());
+  SendAll(fd, "show views\n");
+  EXPECT_EQ(RecvResponses(fd, 1),
+            "err Unauthenticated: authenticate first (auth <user> <token>)\n");
+  SendAll(fd, "auth alice s3cret\n");
+  EXPECT_EQ(RecvResponses(fd, 1), "authenticated as alice\nok\n");
+  SendAll(fd, "show views\nquit\n");
+  EXPECT_EQ(RecvUntilEof(fd), "(none)\nok\nok\n");
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, BadCredentialsAreRefusedWithoutKillingTheConn) {
+  FrontendServer server(TwoTenantOptions());
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectTo(server.port());
+  SendAll(fd, "auth alice wrong\n");
+  EXPECT_EQ(RecvResponses(fd, 1),
+            "err PermissionDenied: bad credentials for user 'alice'\n");
+  SendAll(fd, "auth mallory s3cret\n");
+  EXPECT_EQ(RecvResponses(fd, 1),
+            "err PermissionDenied: bad credentials for user 'mallory'\n");
+  SendAll(fd, "auth\n");
+  EXPECT_EQ(RecvResponses(fd, 1),
+            "err InvalidArgument: usage: auth <user> <token>\n");
+  // The connection survives every refusal; a correct handshake still works.
+  SendAll(fd, "auth alice s3cret\nquit\n");
+  EXPECT_EQ(RecvUntilEof(fd), "authenticated as alice\nok\nok\n");
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, UnauthenticatedQuitStillCloses) {
+  FrontendServer server(TwoTenantOptions());
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectTo(server.port());
+  SendAll(fd, "quit\n");
+  EXPECT_EQ(RecvUntilEof(fd), "ok\n");
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, CommentsAndBlanksPassTheGateUnauthenticated) {
+  FrontendServer server(TwoTenantOptions());
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectTo(server.port());
+  // Comments and blank lines carry no authority: they reach the session
+  // (which answers a bare `ok`) instead of being refused Unauthenticated.
+  SendAll(fd, "% a comment\n\nauth bob hunter2\nquit\n");
+  EXPECT_EQ(RecvUntilEof(fd), "ok\nok\nauthenticated as bob\nok\nok\n");
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, ReadOnlyAccountsCannotMutate) {
+  ServerOptions options;
+  options.accounts = {{"auditor", "tok", false}};
+  FrontendServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectTo(server.port());
+  SendAll(fd, "auth auditor tok\n");
+  EXPECT_EQ(RecvResponses(fd, 1), "authenticated as auditor (read-only)\nok\n");
+  for (const std::string& mutating :
+       {std::string("view v(X) :- e(X)."), std::string("fact e(1)."),
+        std::string("query q(X) :- e(X)."), std::string("reset")}) {
+    SendAll(fd, mutating + "\n");
+    EXPECT_EQ(RecvResponses(fd, 1),
+              "err PermissionDenied: user 'auditor' is read-only\n")
+        << mutating;
+  }
+  // Read-side commands still work.
+  SendAll(fd, "show views\nhelp\nquit\n");
+  std::string rest = RecvUntilEof(fd);
+  EXPECT_NE(rest.find("(none)\nok\n"), std::string::npos);
+  EXPECT_NE(rest.find("commands:"), std::string::npos);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, TenantsNeverSeeEachOthersViews) {
+  FrontendServer server(TwoTenantOptions());
+  ASSERT_TRUE(server.Start().ok());
+  // Two authenticated tenants interleaved on live connections: alice's
+  // schema must be invisible to bob throughout, and vice versa.
+  int alice = ConnectTo(server.port());
+  int bob = ConnectTo(server.port());
+  SendAll(alice, "auth alice s3cret\n");
+  EXPECT_EQ(RecvResponses(alice, 1), "authenticated as alice\nok\n");
+  SendAll(bob, "auth bob hunter2\n");
+  EXPECT_EQ(RecvResponses(bob, 1), "authenticated as bob\nok\n");
+
+  SendAll(alice, "view secret_a(X) :- e(X).\nfact e(42).\n");
+  EXPECT_EQ(RecvResponses(alice, 2),
+            "added view secret_a\nok\nok (1 fact total)\nok\n");
+  SendAll(bob, "show views\nshow facts\n");
+  EXPECT_EQ(RecvResponses(bob, 2), "(none)\nok\n(none)\nok\n");
+
+  SendAll(bob, "view secret_b(Y) :- f(Y).\n");
+  EXPECT_EQ(RecvResponses(bob, 1), "added view secret_b\nok\n");
+  SendAll(alice, "show views\n");
+  std::string alice_views = RecvResponses(alice, 1);
+  EXPECT_NE(alice_views.find("secret_a"), std::string::npos);
+  EXPECT_EQ(alice_views.find("secret_b"), std::string::npos);
+
+  SendAll(alice, "quit\n");
+  SendAll(bob, "quit\n");
+  EXPECT_EQ(RecvUntilEof(alice), "ok\n");
+  EXPECT_EQ(RecvUntilEof(bob), "ok\n");
+  ::close(alice);
+  ::close(bob);
+  server.Stop();
+}
+
+// --- Stop() drain contract ---------------------------------------------
+
+TEST(ServerProtocolTest, StopMidWriteNeverTearsAResponse) {
+  // Regression: Stop() while a connection has queued output (the client
+  // pipelined 200 commands and is not reading) must flush whole responses
+  // and then close — never cut a response mid-line, never strand the
+  // client without EOF.
+  FrontendServer server;
+  ASSERT_TRUE(server.Start().ok());
+  const std::string unit = GroundTruth({"help"});
+  ASSERT_FALSE(unit.empty());
+
+  int fd = ConnectTo(server.port());
+  std::string request;
+  for (int i = 0; i < 200; ++i) request += "help\n";
+  SendAll(fd, request);
+  // Let the server chew through part of the pipeline while the client
+  // reads nothing, so response bytes are queued server-side at Stop time.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::thread stopper([&] { server.Stop(); });
+  std::string received = RecvUntilEof(fd);  // concurrent with the drain
+  stopper.join();
+  ::close(fd);
+
+  // Whatever was flushed is an exact prefix of the pipeline's responses:
+  // a whole number of complete `help` responses, byte-identical each.
+  ASSERT_EQ(received.size() % unit.size(), 0u)
+      << "torn response: " << received.size() << " bytes is not a multiple of "
+      << unit.size();
+  for (size_t at = 0; at < received.size(); at += unit.size()) {
+    ASSERT_EQ(received.compare(at, unit.size(), unit), 0)
+        << "response " << (at / unit.size()) << " is corrupted";
+  }
+}
+
+TEST(ServerProtocolTest, StopWithIdleAndMidLineConnectionsIsClean) {
+  FrontendServer server;
+  ASSERT_TRUE(server.Start().ok());
+  int idle = ConnectTo(server.port());
+  int midline = ConnectTo(server.port());
+  SendAll(midline, "show vi");  // unterminated carry at Stop time
+  std::thread stopper([&] { server.Stop(); });
+  EXPECT_EQ(RecvUntilEof(idle), "");
+  EXPECT_EQ(RecvUntilEof(midline), "");
+  stopper.join();
+  ::close(idle);
+  ::close(midline);
+}
+
+}  // namespace
+}  // namespace aqv

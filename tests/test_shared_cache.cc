@@ -1,0 +1,323 @@
+// Property tests of the shared cross-connection rewriting caches: the
+// catalog-independent encodings (cq/global_symbols.h + GlobalFingerprint),
+// the server-lifetime ContainmentOracle surviving the catalogs that fed
+// it, and the end-to-end equivalence contract of frontend/server.h —
+// share_cache on (1 shard and N shards) and off must produce bit-identical
+// wire responses on replayed generator workloads, with the caches actually
+// hitting on repeats and never serving a stale plan across view-set
+// mutations. CI additionally runs this binary under ThreadSanitizer (the
+// tsan-service job).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "containment/containment.h"
+#include "containment/oracle.h"
+#include "cq/catalog.h"
+#include "cq/parser.h"
+#include "cq/query.h"
+#include "frontend/differential.h"
+#include "frontend/replay.h"
+#include "frontend/server.h"
+#include "frontend/session.h"
+#include "gtest/gtest.h"
+#include "service/plan_cache.h"
+#include "workload/generator.h"
+
+namespace aqv {
+namespace {
+
+// --- TCP plumbing (as in test_frontend_server.cc) ----------------------
+
+int ConnectTo(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  EXPECT_EQ(rc, 0) << std::strerror(errno);
+  return fd;
+}
+
+/// Sends `lines` in one write and reads to EOF (every script ends in
+/// `quit`, so the server closes when done).
+std::string RunScript(int port, const std::vector<std::string>& lines) {
+  int fd = ConnectTo(port);
+  std::string request;
+  for (const std::string& line : lines) request += line + "\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string received;
+  char buf[8192];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    received.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return received;
+}
+
+/// The inline-Session ground truth: the byte stream a transport-free
+/// replay of `lines` produces (server session semantics: load disabled,
+/// no service, no shared caches).
+std::string GroundTruth(const std::vector<std::string>& lines) {
+  SessionOptions options;
+  options.enable_load = false;
+  Session session(options);
+  std::string expected;
+  for (const std::string& line : lines) {
+    CommandResult result = session.Execute(line);
+    expected += RenderWireResponse(result);
+    if (result.quit) break;
+  }
+  return expected;
+}
+
+// --- catalog-independent encodings -------------------------------------
+
+TEST(SharedCacheTest, GlobalFingerprintAgreesAcrossCatalogs) {
+  // Parse the same query into two catalogs whose local dense ids diverge
+  // (the second catalog interns unrelated predicates first): the local
+  // fingerprints may differ, the global ones must not.
+  Catalog a;
+  auto qa = ParseQuery("q(X, Z) :- e(X, Y), f(Y, Z).", &a);
+  ASSERT_TRUE(qa.ok());
+
+  Catalog b;
+  auto skew = ParseQuery("skew(U) :- zzz(U), yyy(U, U).", &b);
+  ASSERT_TRUE(skew.ok());
+  // Variable names differ too: canonicalization must erase them.
+  auto qb = ParseQuery("q(A, C) :- e(A, B), f(B, C).", &b);
+  ASSERT_TRUE(qb.ok());
+
+  EXPECT_EQ(GlobalCanonicalEncoding(*qa), GlobalCanonicalEncoding(*qb));
+  EXPECT_EQ(GlobalFingerprint(*qa), GlobalFingerprint(*qb));
+
+  // A structurally different query must not collide on the encoding.
+  auto other = ParseQuery("q(X, Z) :- e(X, Y), e(Y, Z).", &b);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(GlobalCanonicalEncoding(*qb), GlobalCanonicalEncoding(*other));
+}
+
+TEST(SharedCacheTest, OracleEntriesSurviveTheirCatalogs) {
+  ContainmentOracle oracle(/*max_entries=*/1024, /*num_shards=*/4);
+  ContainmentOptions options;
+
+  auto first_catalog = std::make_unique<Catalog>();
+  auto sub = ParseQuery("q(X) :- e(X, Y), e(Y, X).", first_catalog.get());
+  auto super = ParseQuery("p(X) :- e(X, Y).", first_catalog.get());
+  ASSERT_TRUE(sub.ok() && super.ok());
+  auto first = oracle.IsContainedIn(*sub, *super, options);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(oracle.stats().hits, 0u);
+  EXPECT_EQ(oracle.stats().misses, 1u);
+
+  // Destroy the catalog that produced the cached entry, then re-ask the
+  // same (renamed) pair from a fresh catalog: the entry must hit, and the
+  // verdict must match — nothing in the cache may reference the dead
+  // catalog.
+  Query sub_copy = *sub;
+  Query super_copy = *super;
+  (void)sub_copy;
+  (void)super_copy;
+  first_catalog.reset();
+
+  Catalog second_catalog;
+  auto sub2 = ParseQuery("q(A) :- e(A, B), e(B, A).", &second_catalog);
+  auto super2 = ParseQuery("p(A) :- e(A, B).", &second_catalog);
+  ASSERT_TRUE(sub2.ok() && super2.ok());
+  auto second = oracle.IsContainedIn(*sub2, *super2, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, *first);
+  EXPECT_EQ(oracle.stats().hits, 1u);
+  EXPECT_EQ(oracle.stats().misses, 1u);
+  EXPECT_EQ(oracle.stats().confirm_failures, 0u);
+}
+
+// --- end-to-end equivalence over generated workloads -------------------
+
+/// Renders the soak script of one pinned seed: a small generated LAV
+/// scenario with churn (so `reset` + view re-adds exercise plan-cache
+/// invalidation), probed across engines and routes.
+std::vector<std::string> ScriptForSeed(uint64_t seed) {
+  GeneratedScenarioSpec spec;
+  spec.seed = seed;
+  spec.num_predicates = 4;
+  spec.query_atoms = 2;
+  spec.num_views = 6;
+  spec.max_view_atoms = 2;
+  spec.facts_per_predicate = 5;
+  spec.domain_size = 12;
+  auto scenario = GenerateScenario(spec);
+  EXPECT_TRUE(scenario.ok()) << scenario.status().ToString();
+  if (!scenario.ok()) return {};
+  SoakScriptOptions script_options;
+  script_options.seed = seed * 7919 + 1;
+  script_options.churn_cycles = static_cast<int>(seed % 3);
+  auto script = SoakScriptFromScenario(*scenario, script_options);
+  EXPECT_TRUE(script.ok()) << script.status().ToString();
+  if (!script.ok()) return {};
+  return SplitScriptLines(script->text);
+}
+
+TEST(SharedCacheTest, CacheModesAreByteIdenticalOnPinnedSeeds) {
+  // The acceptance property of the shared caches: across 20 pinned
+  // generator seeds, a server with the shared oracle + plan cache (both 1
+  // shard and 8 shards) answers every replayed script byte-identically to
+  // a cache-off server and to the inline-session ground truth — even with
+  // two clients racing the same script through the shared caches.
+  ServerOptions shared8;
+  shared8.share_cache = true;
+  shared8.service.num_workers = 4;
+  shared8.service.oracle_shards = 8;
+  shared8.plan_cache_shards = 8;
+
+  ServerOptions shared1;
+  shared1.share_cache = true;
+  shared1.service.num_workers = 4;
+  shared1.service.oracle_shards = 1;
+  shared1.plan_cache_shards = 1;
+
+  ServerOptions isolated;
+  isolated.share_cache = false;
+  isolated.service.num_workers = 4;
+
+  FrontendServer server_shared8(shared8);
+  FrontendServer server_shared1(shared1);
+  FrontendServer server_isolated(isolated);
+  ASSERT_TRUE(server_shared8.Start().ok());
+  ASSERT_TRUE(server_shared1.Start().ok());
+  ASSERT_TRUE(server_isolated.Start().ok());
+  FrontendServer* servers[] = {&server_shared8, &server_shared1,
+                               &server_isolated};
+
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    std::vector<std::string> lines = ScriptForSeed(seed);
+    ASSERT_FALSE(lines.empty()) << "seed " << seed;
+    std::string expected = GroundTruth(lines);
+
+    // Two clients per server replay the script concurrently: cross-
+    // connection cache hits must not perturb a single byte.
+    std::string responses[3][2];
+    std::vector<std::thread> clients;
+    for (int s = 0; s < 3; ++s) {
+      for (int c = 0; c < 2; ++c) {
+        clients.emplace_back([&, s, c] {
+          responses[s][c] = RunScript(servers[s]->port(), lines);
+        });
+      }
+    }
+    for (std::thread& t : clients) t.join();
+    for (int s = 0; s < 3; ++s) {
+      for (int c = 0; c < 2; ++c) {
+        EXPECT_EQ(responses[s][c], expected)
+            << "seed " << seed << " server " << s << " client " << c;
+      }
+    }
+  }
+
+  // The equivalence only attests cache sharing if the shared caches were
+  // actually exercised: 20 seeds x 2 clients of repeated probes must have
+  // produced hits in both shared servers.
+  EXPECT_GT(server_shared8.oracle().stats().hits, 0u);
+  EXPECT_GT(server_shared1.oracle().stats().hits, 0u);
+  EXPECT_GT(server_shared8.plan_cache().stats().hits, 0u);
+  EXPECT_GT(server_shared1.plan_cache().stats().hits, 0u);
+
+  server_shared8.Stop();
+  server_shared1.Stop();
+  server_isolated.Stop();
+}
+
+TEST(SharedCacheTest, RepeatedScriptsHitThePlanCacheAcrossConnections) {
+  ServerOptions options;
+  options.share_cache = true;
+  FrontendServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  // Identity mirrors guarantee an equivalent rewriting exists, so the
+  // engines pose real containment questions (a problem with zero
+  // rewritings never consults the oracle).
+  const std::vector<std::string> script = {
+      "view ve(X, Y) :- edge(X, Y).",
+      "view vc(X) :- checked(X).",
+      "view vj(X, Y) :- edge(X, Y), checked(Y).",
+      "query q(X, Z) :- edge(X, Y), checked(Y), edge(Y, Z).",
+      "fact edge(1, 2).",
+      "fact checked(2).",
+      "fact edge(2, 3).",
+      "rewrite with lmss",
+      "rewrite with minicon",
+      "answer route complete with lmss",  // not plan-cached: engine runs every time
+      "quit"};
+  std::string first = RunScript(server.port(), script);
+  PlanCacheStats after_first = server.plan_cache().stats();
+  OracleStats oracle_first = server.oracle().stats();
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_GE(after_first.inserts, 2u);  // one plan per rewrite probe
+
+  // A brand-new connection (fresh session, fresh catalog) repeating the
+  // problem is answered from the cache, byte-identically.
+  std::string second = RunScript(server.port(), script);
+  PlanCacheStats after_second = server.plan_cache().stats();
+  EXPECT_EQ(second, first);
+  EXPECT_GE(after_second.hits, 2u);
+  EXPECT_EQ(after_second.inserts, after_first.inserts);
+  // The answer probe re-runs the engine, whose containment questions are
+  // all repeats of the first connection's — and the first connection's
+  // catalog is gone by now, so every one of these hits is an entry that
+  // outlived the catalog it was built from. No new misses may appear.
+  OracleStats oracle_second = server.oracle().stats();
+  EXPECT_GT(oracle_second.hits, oracle_first.hits);
+  EXPECT_EQ(oracle_second.misses, oracle_first.misses);
+  server.Stop();
+}
+
+TEST(SharedCacheTest, ViewMutationsInvalidateCachedPlans) {
+  ServerOptions options;
+  options.share_cache = true;
+  FrontendServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // One connection: rewrite, mutate the view set, rewrite again, reset
+  // and rebuild a different view set, rewrite a third time. Every rewrite
+  // after a mutation must reflect the *current* views — byte-compared
+  // against the inline ground truth, which has no cache to go stale.
+  const std::vector<std::string> script = {
+      "view v(X, Y) :- edge(X, Y).",
+      "query q(X, Z) :- edge(X, Y), edge(Y, Z).",
+      "rewrite with lmss",
+      "rewrite with lmss",  // exact repeat: served from cache
+      "view w(X) :- edge(X, X).",
+      "rewrite with lmss",  // view added: key changed, fresh engine run
+      "reset",
+      "view u(X, Y) :- edge(Y, X).",
+      "query q(X, Z) :- edge(X, Y), edge(Y, Z).",
+      "rewrite with lmss",  // rebuilt problem: again a fresh key
+      "quit"};
+  std::string expected = GroundTruth(script);
+  std::string response = RunScript(server.port(), script);
+  EXPECT_EQ(response, expected);
+
+  PlanCacheStats stats = server.plan_cache().stats();
+  EXPECT_GE(stats.hits, 1u);    // the exact repeat
+  EXPECT_GE(stats.misses, 3u);  // initial + after-add + after-reset
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace aqv

@@ -91,7 +91,10 @@ expect 'added view v'
 expect 'route direct: 1 answer (exact)'
 expect '(1, 3)'
 expect "err InvalidArgument: unknown command 'bogus' (try 'help')"
-expect 'service: requests=1 ok=1 failed=0'
+# Every command runs as a service task and STATS counts itself, so the
+# 8 commands up to and including STATS all land in the lifetime counters
+# (task success is the delivery itself, hence failed=0 despite `bogus`).
+expect 'service: requests=8 ok=8 failed=0'
 
 # 9 commands -> exactly 8 `ok` terminators plus 1 `err`. grep -c exits 1
 # on zero matches, which set -e would turn into a silent death inside the

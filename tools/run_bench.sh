@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the benchmark suite and merges the per-binary google/benchmark JSON
-# reports into one perf-trajectory artifact (BENCH_PR8.json by default).
+# reports into one perf-trajectory artifact (BENCH_PR10.json by default).
 # The suite includes bench_f8_service (the concurrent batch-rewriting
 # service sweep) and bench_f9_answering (the end-to-end answering
 # pipeline: route x engine x scenario x data size); see docs/OPERATIONS.md
@@ -19,12 +19,12 @@
 #
 # CI smoke example (reduced work, engine + answering benches only):
 #   AQV_BENCH_MIN_TIME=1x AQV_BENCH_BINARIES="bench_f7_engines bench_f9_answering" \
-#     tools/run_bench.sh build BENCH_PR8.json
+#     tools/run_bench.sh build BENCH_PR10.json
 
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-OUTPUT=${2:-BENCH_PR8.json}
+OUTPUT=${2:-BENCH_PR10.json}
 REPETITIONS=${AQV_BENCH_REPETITIONS:-1}
 MIN_TIME=${AQV_BENCH_MIN_TIME:-}
 FILTER=${AQV_BENCH_FILTER:-}

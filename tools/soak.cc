@@ -1,14 +1,20 @@
 /// \file
 /// Differential soak/fuzz driver over the TCP frontend: boots a real
-/// FrontendServer in-process, generates randomized LAV scenario families
+/// epoll FrontendServer in-process (shared cross-connection oracle +
+/// rewriting-plan cache by default; --shared-cache 0 restores isolated
+/// per-connection caches), generates randomized LAV scenario families
 /// (workload/generator.h), renders each as a churning probed session
 /// script (frontend/replay.h), and replays the scripts over real TCP
 /// connections from N concurrent client threads — every response checked
 /// byte-for-byte and semantically against an in-process mirror
-/// (frontend/differential.h). On divergence the script is ddmin-shrunk
-/// against the live server and dumped as a standalone `.aqv` repro that
-/// `aqvsh` can replay. Exit code 0 = clean soak, 1 = divergence (repro
-/// written), 2 = usage/setup error.
+/// (frontend/differential.h), which makes the soak a live proof that the
+/// shared caches never perturb a byte. On divergence the script is
+/// ddmin-shrunk against the live server and dumped as a standalone `.aqv`
+/// repro that `aqvsh` can replay. A multi-tenant isolation phase
+/// (--tenants N) precedes the soak: authenticated tenants interleave
+/// their own scenarios on one account-gated server, and any cross-tenant
+/// leakage diverges from the mirror. Exit code 0 = clean soak, 1 =
+/// divergence (repro written), 2 = usage/setup error.
 ///
 /// The harness self-test: `--inject-fault-at K` tampers the K-th answer
 /// response of the first scenario in flight, as if the server had
@@ -54,6 +60,8 @@ struct SoakConfig {
   int preds_max = 24;
   int churn_max = 2;
   int inject_fault_at = -1;  // tamper the Nth answer of the first scenario
+  bool shared_cache = true;  // server-lifetime oracle + plan cache
+  int tenants = 2;           // interleaved isolation phase; 0 disables
   std::string repro_dir = ".";
   std::string persist_dir;  // empty = in-memory sessions only
 };
@@ -72,6 +80,10 @@ void Usage(const char* argv0) {
       "  --churn-max N        max view-churn cycles per script (default 2)\n"
       "  --inject-fault-at N  self-test: tamper the Nth answer response of\n"
       "                       the first scenario; expect exit 1 + a repro\n"
+      "  --shared-cache 0|1   share one oracle + rewriting-plan cache across\n"
+      "                       every connection (default 1; 0 = per-conn)\n"
+      "  --tenants N          interleaved multi-tenant isolation phase with\n"
+      "                       N authenticated tenants (default 2, 0 = off)\n"
       "  --repro-dir DIR      where divergence repros are written (.)\n"
       "  --persist DIR        persistence churn: every script saves/opens a\n"
       "                       database under DIR/sN (recovery probes)\n",
@@ -98,6 +110,8 @@ bool ParseFlags(int argc, char** argv, SoakConfig* cfg) {
     else if (arg == "--preds-max") cfg->preds_max = std::atoi(v);
     else if (arg == "--churn-max") cfg->churn_max = std::atoi(v);
     else if (arg == "--inject-fault-at") cfg->inject_fault_at = std::atoi(v);
+    else if (arg == "--shared-cache") cfg->shared_cache = std::atoi(v) != 0;
+    else if (arg == "--tenants") cfg->tenants = std::atoi(v);
     else if (arg == "--repro-dir") cfg->repro_dir = v;
     else if (arg == "--persist") cfg->persist_dir = v;
     else {
@@ -194,6 +208,119 @@ void WriteRepro(const SoakConfig& cfg, const FaultRecord& fault,
   if (shrunk.empty() || shrunk.back() != "quit") out << "quit\n";
 }
 
+/// The interleaved multi-tenant isolation phase: an account-gated server
+/// (one credential per tenant), every tenant authenticating and replaying
+/// its own generated scenario concurrently with the others through the
+/// shared caches. The differential mirror executes each connection's
+/// script inline on private state, so any cross-tenant leakage — another
+/// tenant's views or facts surfacing in a response — is a byte divergence.
+/// `auth` itself is answered at the server boundary and skipped by the
+/// mirror. Exit 0 = isolated, 1 = leakage/divergence, 2 = setup error.
+int RunTenantIsolation(const SoakConfig& cfg) {
+  ServerOptions options;
+  options.share_cache = cfg.shared_cache;
+  std::vector<std::string> tokens;
+  for (int t = 0; t < cfg.tenants; ++t) {
+    tokens.push_back("tok-" + std::to_string(cfg.seed * 31 +
+                                             static_cast<uint64_t>(t)));
+    options.accounts.push_back(
+        {"tenant" + std::to_string(t), tokens.back(), true});
+  }
+  FrontendServer server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "tenant server start failed: %s\n",
+                 started.ToString().c_str());
+    return 2;
+  }
+  std::printf("[soak] tenant isolation: %d tenant(s) interleaved on "
+              "127.0.0.1:%d (shared cache %s)\n",
+              cfg.tenants, server.port(), cfg.shared_cache ? "on" : "off");
+
+  std::mutex mu;
+  std::vector<std::string> failures;
+  std::atomic<long> commands{0};
+  auto tenant_worker = [&](int t) {
+    // A distinct small scenario per tenant, seeded disjointly from the
+    // main soak's PlanScenario stream.
+    GeneratedScenarioSpec spec;
+    spec.seed = cfg.seed * 2000003ULL + static_cast<uint64_t>(t) + 1;
+    spec.num_predicates = 6;
+    spec.query_atoms = 2;
+    spec.num_views = 10;
+    spec.max_view_atoms = 3;
+    spec.facts_per_predicate = 6;
+    spec.domain_size = 16;
+    auto scenario = GenerateScenario(spec);
+    if (!scenario.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      failures.push_back("tenant " + std::to_string(t) +
+                         " generation failed: " +
+                         scenario.status().ToString());
+      return;
+    }
+    SoakScriptOptions script_options;
+    script_options.seed = spec.seed + 17;
+    script_options.churn_cycles = 1;
+    auto script = SoakScriptFromScenario(*scenario, script_options);
+    if (!script.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      failures.push_back("tenant " + std::to_string(t) +
+                         " script render failed: " +
+                         script.status().ToString());
+      return;
+    }
+    std::vector<std::string> lines = SplitScriptLines(script->text);
+    lines.insert(lines.begin(),
+                 "auth tenant" + std::to_string(t) + " " + tokens[t]);
+    auto replay = ReplayAndCheckOverTcp(server.port(), lines,
+                                        TcpReplayOptions{});
+    std::lock_guard<std::mutex> lock(mu);
+    if (!replay.ok()) {
+      failures.push_back("tenant " + std::to_string(t) + " replay failed: " +
+                         replay.status().ToString());
+      return;
+    }
+    commands.fetch_add(replay->commands_sent);
+    if (replay->divergence.has_value()) {
+      failures.push_back("tenant " + std::to_string(t) +
+                         " DIVERGED (cross-tenant leakage?): " +
+                         replay->divergence->ToString());
+    }
+  };
+  // Two rounds: the second replays the same scripts through the by-then
+  // warm shared caches — hits must not perturb isolation either.
+  for (int round = 0; round < 2 && failures.empty(); ++round) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(cfg.tenants));
+    for (int t = 0; t < cfg.tenants; ++t) threads.emplace_back(tenant_worker, t);
+    for (std::thread& th : threads) th.join();
+  }
+
+  // Gate self-test: the mirror has no auth gate, so an unauthenticated
+  // command being refused MUST surface as a divergence — if it does not,
+  // the gate silently let the command through.
+  auto gate =
+      ReplayAndCheckOverTcp(server.port(), {"show views", "quit"},
+                            TcpReplayOptions{});
+  if (gate.ok() && !gate->divergence.has_value()) {
+    failures.push_back(
+        "gate self-test: unauthenticated command was not refused");
+  }
+
+  server.Stop();
+  if (!failures.empty()) {
+    for (const std::string& f : failures) {
+      std::fprintf(stderr, "[soak] tenant isolation: %s\n", f.c_str());
+    }
+    return 1;
+  }
+  std::printf("[soak] tenant isolation OK: %ld command(s), no cross-tenant "
+              "leakage\n",
+              commands.load());
+  return 0;
+}
+
 int Run(const SoakConfig& cfg) {
   if (!cfg.persist_dir.empty()) {
     // Scenario scripts create DIR/sN themselves; DIR must exist first
@@ -204,7 +331,9 @@ int Run(const SoakConfig& cfg) {
       return 2;
     }
   }
-  FrontendServer server;  // default options: ephemeral port, 64 conns
+  ServerOptions server_options;  // ephemeral port, 64 conns
+  server_options.share_cache = cfg.shared_cache;
+  FrontendServer server(server_options);
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
@@ -212,9 +341,11 @@ int Run(const SoakConfig& cfg) {
     return 2;
   }
   const int port = server.port();
-  std::printf("[soak] server on 127.0.0.1:%d, %d client(s), seed %llu\n",
+  std::printf("[soak] server on 127.0.0.1:%d, %d client(s), seed %llu, "
+              "shared cache %s\n",
               port, cfg.clients,
-              static_cast<unsigned long long>(cfg.seed));
+              static_cast<unsigned long long>(cfg.seed),
+              cfg.shared_cache ? "on" : "off");
 
   std::atomic<int> next_index{0};
   std::atomic<int> scenarios_done{0};
@@ -338,6 +469,18 @@ int Run(const SoakConfig& cfg) {
     exit_code = 1;
   }
 
+  if (cfg.shared_cache) {
+    OracleStats oracle = server.oracle().stats();
+    PlanCacheStats plans = server.plan_cache().stats();
+    std::printf("[soak] shared caches: oracle hits=%llu misses=%llu "
+                "hit_rate=%.3f; plans hits=%llu misses=%llu hit_rate=%.3f\n",
+                static_cast<unsigned long long>(oracle.hits),
+                static_cast<unsigned long long>(oracle.misses),
+                oracle.hit_rate(),
+                static_cast<unsigned long long>(plans.hits),
+                static_cast<unsigned long long>(plans.misses),
+                plans.hit_rate());
+  }
   server.Stop();
   std::printf("[soak] done: %d scenario(s), %ld command(s), %ld answer "
               "check(s), %ld rewrite check(s), %s\n",
@@ -355,6 +498,10 @@ int main(int argc, char** argv) {
   if (!ParseFlags(argc, argv, &cfg)) {
     Usage(argv[0]);
     return 2;
+  }
+  if (cfg.tenants >= 2) {
+    int tenant_rc = RunTenantIsolation(cfg);
+    if (tenant_rc != 0) return tenant_rc;
   }
   return Run(cfg);
 }

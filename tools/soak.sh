@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Bounded differential soak over the TCP frontend, in two acts:
+# Bounded differential soak over the epoll TCP frontend (shared
+# cross-connection oracle + rewriting-plan cache), in two acts:
 #
-#   1. a clean soak — randomized generated scenarios replayed by
-#      concurrent clients, every response differentially checked; any
-#      divergence fails the script (and leaves a shrunk .aqv repro), and
+#   1. a clean soak — a multi-tenant isolation phase (interleaved
+#      authenticated tenants who must never see each other's views), then
+#      randomized generated scenarios replayed by concurrent clients
+#      through the shared caches, every response differentially checked;
+#      any divergence fails the script (and leaves a shrunk .aqv repro),
 #   2. the harness self-test — the same driver with --inject-fault-at,
 #      which MUST exit 1 and write a repro: a soak harness that cannot
 #      catch a deliberately flipped answer proves nothing.
@@ -14,7 +17,8 @@
 #
 # CI's soak-smoke job runs this under ASan with SOAK_DURATION_S=60.
 # Knobs (env): SOAK_SEED, SOAK_CLIENTS, SOAK_SCENARIOS,
-# SOAK_MIN_COMMANDS, SOAK_DURATION_S. See docs/OPERATIONS.md.
+# SOAK_MIN_COMMANDS, SOAK_DURATION_S, SOAK_TENANTS, SOAK_SHARED_CACHE.
+# See docs/OPERATIONS.md.
 #
 # Usage: tools/soak.sh [BUILD_DIR] [--persist <dir>]
 
@@ -45,6 +49,8 @@ SOAK_CLIENTS=${SOAK_CLIENTS:-4}
 SOAK_SCENARIOS=${SOAK_SCENARIOS:-12}
 SOAK_MIN_COMMANDS=${SOAK_MIN_COMMANDS:-3000}
 SOAK_DURATION_S=${SOAK_DURATION_S:-0}
+SOAK_TENANTS=${SOAK_TENANTS:-2}
+SOAK_SHARED_CACHE=${SOAK_SHARED_CACHE:-1}
 
 workdir=$(mktemp -d)
 cleanup() {
@@ -62,7 +68,8 @@ fi
 
 echo "=== clean soak (seed=$SOAK_SEED clients=$SOAK_CLIENTS" \
   "scenarios=$SOAK_SCENARIOS min-commands=$SOAK_MIN_COMMANDS" \
-  "duration-s=$SOAK_DURATION_S persist=${PERSIST_DIR:-off}) ==="
+  "duration-s=$SOAK_DURATION_S tenants=$SOAK_TENANTS" \
+  "shared-cache=$SOAK_SHARED_CACHE persist=${PERSIST_DIR:-off}) ==="
 "$SOAK" \
   --seed "$SOAK_SEED" \
   --clients "$SOAK_CLIENTS" \
@@ -71,6 +78,8 @@ echo "=== clean soak (seed=$SOAK_SEED clients=$SOAK_CLIENTS" \
   --duration-s "$SOAK_DURATION_S" \
   --views-min 15 --views-max 40 \
   --preds-min 8 --preds-max 16 \
+  --tenants "$SOAK_TENANTS" \
+  --shared-cache "$SOAK_SHARED_CACHE" \
   "${persist_flags[@]}" \
   --repro-dir "$workdir"
 
@@ -83,6 +92,7 @@ rc=0
   --min-commands 1 \
   --views-min 8 --views-max 12 \
   --preds-min 6 --preds-max 8 \
+  --tenants 0 \
   --inject-fault-at 1 \
   --repro-dir "$workdir" || rc=$?
 if [[ "$rc" -ne 1 ]]; then
